@@ -1,0 +1,83 @@
+"""Extension ablation: storage media and the on-demand/full crossover.
+
+The paper's future work targets faster storage (Optane PMM). The
+scheduler's decision hinges on the sequential/random bandwidth gap:
+
+* HDD  (seq/ran ~ 12x) — on-demand pays off only for small frontiers;
+* SSD  (seq/ran ~ 1.7x) — the crossover moves toward larger frontiers;
+* NVMe (seq/ran ~ 1.3x) — selective access wins almost everywhere.
+
+This sweep runs CC on uk2007 under each profile and checks that the
+fraction of iterations scheduled on-demand grows monotonically as the
+random-access penalty shrinks, while results stay identical.
+"""
+
+import numpy as np
+
+from conftest import print_report
+
+from repro.algorithms import ConnectedComponents
+from repro.bench.reporting import ExperimentReport
+from repro.core import GraphSDEngine
+from repro.datasets import load_dataset
+from repro.graph import preprocess_graphsd
+from repro.storage import (
+    Device,
+    HDD_PROFILE,
+    MachineProfile,
+    NVME_PROFILE,
+    SimulatedDisk,
+    SSD_PROFILE,
+)
+
+PROFILES = [HDD_PROFILE, SSD_PROFILE, NVME_PROFILE]
+
+
+def run_sweep(tmp_root):
+    edges = load_dataset("uk2007", symmetrize=True)
+    report = ExperimentReport(
+        "ablation-disk",
+        "Storage media sweep: CC on uk2007",
+        ["profile", "time (s)", "I/O (MiB)", "on-demand iterations", "iterations"],
+    )
+    stats = {}
+    values = {}
+    for profile in PROFILES:
+        machine = MachineProfile(disk=profile)
+        device = Device(tmp_root / profile.name, SimulatedDisk(profile))
+        store = preprocess_graphsd(edges, device, P=8, machine=machine).store
+        engine = GraphSDEngine(store, machine=machine)
+        result = engine.run(ConnectedComponents())
+        on_demand = sum(1 for m in result.model_history if m == "sciu")
+        stats[profile.name] = (result.sim_seconds, on_demand, result.iterations)
+        values[profile.name] = result.values
+        report.add_row(
+            profile.name,
+            result.sim_seconds,
+            result.io_traffic / (1 << 20),
+            on_demand,
+            result.iterations,
+        )
+    return report, stats, values
+
+
+def test_disk_profile_sweep(benchmark, tmp_path):
+    report, stats, values = benchmark.pedantic(
+        lambda: run_sweep(tmp_path), rounds=1, iterations=1
+    )
+    print_report(report)
+
+    # Identical results on every medium.
+    assert np.array_equal(values["hdd"], values["ssd"])
+    assert np.array_equal(values["hdd"], values["nvme"])
+
+    # Faster media => faster runs.
+    assert stats["nvme"][0] < stats["ssd"][0] < stats["hdd"][0]
+
+    # Narrower seq/ran gap => the scheduler picks on-demand at least as
+    # often (as a fraction of iterations).
+    frac = {name: s[1] / s[2] for name, s in stats.items()}
+    assert frac["hdd"] <= frac["ssd"] + 1e-9
+    assert frac["ssd"] <= frac["nvme"] + 1e-9
+
+    benchmark.extra_info["on_demand_fraction"] = {k: round(v, 3) for k, v in frac.items()}

@@ -1,0 +1,55 @@
+"""Fig. 10: per-iteration time of CC on UKUnion under the adaptive
+state-aware scheduler vs pinned I/O models.
+
+Paper's finding (§5.4): "GraphSD is able to select the better I/O access
+model in all iterations" — the adaptive run tracks the per-iteration
+minimum of always-full (-b3) and always-on-demand (-b4), and its total
+beats both pinned strategies.
+"""
+
+from conftest import print_report
+
+from repro.bench import run_fig10_scheduler
+
+
+def test_fig10_state_aware_scheduling(benchmark, harness):
+    report = benchmark.pedantic(
+        lambda: run_fig10_scheduler(harness), rounds=1, iterations=1
+    )
+    print_report(report)
+
+    totals = report.data["totals"]
+    per_iter = report.data["per_iteration"]
+
+    # The adaptive engine tracks the better pinned model overall (10%
+    # slack: the benefit evaluation compares single-iteration I/O costs
+    # and cannot see cross-iteration coupling — committing to an FCIU
+    # pair vs SCIU's re-push savings — the same blind spot the paper's
+    # model has) and decisively beats the worse one.
+    best = min(totals["graphsd-b3"], totals["graphsd-b4"])
+    worst = max(totals["graphsd-b3"], totals["graphsd-b4"])
+    assert totals["graphsd"] <= best * 1.10
+    assert totals["graphsd"] < worst * 0.8
+
+    # Both models must actually be exercised during the run: CC starts
+    # with a full frontier (full model) and ends with a trickle
+    # (on-demand model) — the crossover Fig. 10 plots.
+    g = harness.run("graphsd", "cc", "ukunion")
+    models = set(g.model_history)
+    assert "sciu" in models, g.model_history
+    assert models & {"fciu", "full"}, g.model_history
+
+    # Per-iteration, the adaptive choice tracks the cheaper pinned model
+    # (compared where all three traces have the iteration; FCIU pairing
+    # makes tails differ in length).
+    n = min(len(per_iter[s]) for s in per_iter)
+    tracked = sum(
+        per_iter["graphsd"][k]
+        <= 1.25 * min(per_iter["graphsd-b3"][k], per_iter["graphsd-b4"][k]) + 1e-6
+        for k in range(n)
+    )
+    assert tracked >= 0.7 * n, f"adaptive tracked the best model in only {tracked}/{n}"
+
+    benchmark.extra_info["total_adaptive"] = round(totals["graphsd"], 3)
+    benchmark.extra_info["total_always_full"] = round(totals["graphsd-b3"], 3)
+    benchmark.extra_info["total_always_on_demand"] = round(totals["graphsd-b4"], 3)

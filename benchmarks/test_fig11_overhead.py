@@ -1,0 +1,30 @@
+"""Fig. 11: overhead of the state-aware scheduling strategy.
+
+Paper's finding (§5.4): the benefit-evaluation compute is negligible
+next to the I/O time it saves (e.g. PR-D: 3.4s of evaluation vs 158s of
+reduced I/O on Twitter2010).
+"""
+
+from conftest import print_report
+
+from repro.bench import run_fig11_overhead
+
+
+def test_fig11_scheduling_overhead(benchmark, harness):
+    report = benchmark.pedantic(
+        lambda: run_fig11_overhead(harness), rounds=1, iterations=1
+    )
+    print_report(report)
+
+    for row in report.rows:
+        algo, overhead, reduced = row[0], row[1], row[2]
+        if algo == "PR":
+            # PR is pinned to the full model: no evaluations at all.
+            assert overhead == 0.0
+            continue
+        # Evaluation must be orders of magnitude below the saved I/O
+        # whenever the scheduler saved anything.
+        if reduced > 0:
+            assert overhead < 0.05 * reduced, (algo, overhead, reduced)
+
+    benchmark.extra_info["rows"] = len(report.rows)

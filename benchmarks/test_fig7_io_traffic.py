@@ -1,0 +1,32 @@
+"""Fig. 7: I/O traffic on Twitter2010 and UK2007.
+
+Paper's findings (§5.2): GraphSD moves the least data — about 1.6x less
+than HUS-Graph and 5.5x less than Lumos on average; for PR the worst
+offender is the system without cross-iteration computation, for the
+frontier algorithms it is the one reading inactive edges (Lumos).
+"""
+
+from conftest import print_report
+
+from repro.bench import run_fig7_io_traffic
+
+
+def test_fig7_io_traffic(benchmark, harness):
+    report = benchmark.pedantic(
+        lambda: run_fig7_io_traffic(harness), rounds=1, iterations=1
+    )
+    print_report(report)
+
+    ratios = report.data["ratios"]
+    assert ratios["husgraph"] > 1.2, ratios
+    assert ratios["lumos"] > 1.5, ratios
+    assert ratios["lumos"] > ratios["husgraph"]
+
+    # Per-cell: GraphSD never moves more data than either baseline.
+    for row in report.rows:
+        graphsd_mib, hus_mib, lumos_mib = row[2], row[3], row[4]
+        assert graphsd_mib <= hus_mib * 1.01
+        assert graphsd_mib <= lumos_mib * 1.01
+
+    benchmark.extra_info["io_ratio_husgraph"] = round(ratios["husgraph"], 3)
+    benchmark.extra_info["io_ratio_lumos"] = round(ratios["lumos"], 3)

@@ -1,0 +1,33 @@
+"""Fig. 9: effect of the update strategy (GraphSD vs -b1 vs -b2).
+
+Paper's findings (§5.4): full GraphSD beats -b1 (no cross-iteration
+update) by ~1.7x and -b2 (no selective update) by ~2.8x; -b2 is worse
+than -b1, i.e. active-vertex-aware processing contributes more than
+cross-iteration processing. I/O amounts shrink by ~1.6x / ~5.4x.
+"""
+
+from conftest import print_report
+
+from repro.bench import run_fig9_ablation
+
+
+def test_fig9_update_strategy_ablation(benchmark, harness):
+    report = benchmark.pedantic(
+        lambda: run_fig9_ablation(harness), rounds=1, iterations=1
+    )
+    print_report(report)
+
+    t = report.data["time_ratios"]
+    io = report.data["io_ratios"]
+    # Both ablations lose to the full strategy.
+    assert t["b1"] > 1.0 and t["b2"] > 1.0, t
+    assert io["b1"] >= 1.0 and io["b2"] >= 1.0, io
+    # The paper's ordering: disabling selectivity (b2) hurts more than
+    # disabling cross-iteration computation (b1).
+    assert t["b2"] > t["b1"], t
+    assert io["b2"] > io["b1"], io
+
+    benchmark.extra_info["time_vs_b1"] = round(t["b1"], 3)
+    benchmark.extra_info["time_vs_b2"] = round(t["b2"], 3)
+    benchmark.extra_info["io_vs_b1"] = round(io["b1"], 3)
+    benchmark.extra_info["io_vs_b2"] = round(io["b2"], 3)

@@ -1,0 +1,15 @@
+"""Table 1: the optimization matrix of all implemented systems."""
+
+from conftest import print_report
+
+from repro.bench import run_table1_features
+
+
+def test_table1_feature_matrix(benchmark):
+    report = benchmark.pedantic(run_table1_features, rounds=1, iterations=1)
+    print_report(report)
+    features = report.data["features"]
+    # GraphSD is the only engine with every optimization — the paper's
+    # positioning claim.
+    assert [s for s, f in features.items() if all(f.values())] == ["graphsd"]
+    benchmark.extra_info["systems"] = len(features)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: preprocess a graph and run PageRank out-of-core.
+
+Covers the core workflow in ~40 lines:
+
+1. get an edge list (here: a generated social-network proxy),
+2. partition it into the 2-D grid representation on a simulated disk,
+3. run a vertex program with the GraphSD engine,
+4. inspect results and the engine's I/O behaviour.
+
+Run:  python examples/quickstart.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro import Device, GridStore, make_intervals
+from repro.algorithms import PageRank
+from repro.core import GraphSDEngine
+from repro.datasets import rmat_edges
+
+
+def main() -> None:
+    # 1. An input graph: ~32k vertices, ~500k edges, power-law degrees.
+    edges = rmat_edges(scale=15, edge_factor=16, seed=7)
+    print(f"graph: |V|={edges.num_vertices:,} |E|={edges.num_edges:,}")
+
+    # 2. Preprocess: 8 vertex intervals -> 8x8 sub-block grid, written to
+    #    real files on a device whose disk timing is simulated (HDD model).
+    workdir = tempfile.mkdtemp(prefix="graphsd-quickstart-")
+    device = Device(workdir)
+    intervals = make_intervals(edges, P=8)
+    store = GridStore.build(edges, intervals, device, prefix="quickstart")
+    print(f"on-disk representation: {device.total_bytes() / (1 << 20):.1f} MiB in {workdir}")
+
+    # 3. Execute five PageRank iterations (the paper's PR workload).
+    engine = GraphSDEngine(store)
+    result = engine.run(PageRank(iterations=5))
+
+    # 4. Results + engine behaviour.
+    print(result.summary())
+    top = np.argsort(result.values)[::-1][:5]
+    print("top-5 vertices by rank:")
+    for v in top:
+        print(f"  vertex {v:6d}  rank {result.values[v]:.2f}")
+    print(f"I/O models used per iteration: {result.model_history}")
+    print(
+        f"simulated disk time {result.io_seconds:.3f}s vs modeled compute "
+        f"{result.compute_seconds:.3f}s — out-of-core runs are I/O-bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""GraphSD reproduction: a state- and dependency-aware out-of-core graph
+processing system (Xu et al., ICPP '22), rebuilt in Python on a simulated
+storage substrate.
+
+Public API highlights
+---------------------
+* :class:`repro.graph.EdgeList` / :func:`repro.graph.make_intervals` /
+  :class:`repro.graph.GridStore` — graph input and the on-disk 2-D grid
+  representation.
+* :class:`repro.core.GraphSDEngine` — the paper's engine: state-aware I/O
+  scheduling, SCIU and FCIU update models, priority sub-block buffering.
+* :mod:`repro.algorithms` — PageRank, PageRank-Delta, Connected
+  Components, SSSP, BFS vertex programs.
+* :mod:`repro.baselines` — HUS-Graph, Lumos, GridGraph, GraphChi and
+  X-Stream I/O-policy models plus an in-memory BSP oracle.
+* :mod:`repro.datasets` — synthetic generators and scaled proxies of the
+  paper's Table 3 datasets.
+* :mod:`repro.bench` — the harness regenerating every table and figure
+  of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from repro.graph import EdgeList, GridStore, make_intervals
+from repro.storage import (
+    DiskProfile,
+    MachineProfile,
+    SimulatedDisk,
+    Device,
+    HDD_PROFILE,
+    SSD_PROFILE,
+    NVME_PROFILE,
+)
+from repro.utils import VertexSubset
+
+__all__ = [
+    "__version__",
+    "EdgeList",
+    "GridStore",
+    "make_intervals",
+    "DiskProfile",
+    "MachineProfile",
+    "SimulatedDisk",
+    "Device",
+    "HDD_PROFILE",
+    "SSD_PROFILE",
+    "NVME_PROFILE",
+    "VertexSubset",
+]

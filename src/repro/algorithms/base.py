@@ -1,0 +1,176 @@
+"""Vertex-program abstraction shared by every engine in the repository.
+
+The paper's programming model (§4.2) exposes two user hooks:
+``UserFunction`` — applied to edges to produce the current iteration's
+updates — and ``CrossIterUpdate`` — the same computation used to update
+*next*-iteration values in advance. In BSP terms both are the same
+edge-wise *gather* followed by a vertex-wise *apply*; they differ only in
+which snapshot of vertex state they read (previous-iteration values vs
+the freshly applied current values) and which accumulator they feed.
+
+We therefore factor programs into three vectorized pieces:
+
+``gather(state, src_ids, weights) -> per-edge contributions``
+    computed from the supplied state snapshot (engines pass the
+    previous-iteration snapshot for in-iteration updates and the live
+    state for cross-iteration updates);
+``combine``
+    a commutative, associative reduction over contributions per
+    destination (``ADD`` or ``MIN`` — sufficient for the paper's four
+    algorithms and most vertex-centric workloads);
+``apply(state, lo, hi, acc, touched) -> activated``
+    folds an interval's accumulated contributions into the live state
+    and reports which vertices changed enough to join the next frontier.
+
+Monotone ``MIN`` programs (CC, SSSP, BFS) and delta-accumulating ``ADD``
+programs (PR-Delta) are safe under cross-iteration re-ordering: extra or
+early relaxations never violate the fixpoint. Full PageRank is exact
+under FCIU's ordering because sources are always final for the iteration
+whose accumulator they feed (see §4.2 and `repro.core.fciu`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.utils.bitset import VertexSubset
+from repro.utils.validation import require
+
+State = Dict[str, np.ndarray]
+
+
+class Combine(enum.Enum):
+    """Edge-contribution reduction operator."""
+
+    ADD = "add"
+    MIN = "min"
+
+    @property
+    def identity(self) -> float:
+        return 0.0 if self is Combine.ADD else np.inf
+
+
+def scatter_combine(
+    combine: Combine,
+    acc: np.ndarray,
+    dst_local: np.ndarray,
+    contributions: np.ndarray,
+) -> None:
+    """Reduce per-edge ``contributions`` into ``acc`` at ``dst_local``.
+
+    ``ADD`` uses :func:`numpy.bincount` (a single C pass); ``MIN`` uses
+    the ufunc ``at`` reduction. Both tolerate repeated destinations.
+    """
+    if dst_local.size == 0:
+        return
+    if combine is Combine.ADD:
+        acc += np.bincount(dst_local, weights=contributions, minlength=acc.shape[0])
+    else:
+        np.minimum.at(acc, dst_local, contributions)
+
+
+@dataclass
+class GraphContext:
+    """Static graph facts a program may need at initialization.
+
+    ``out_degrees`` is required by degree-normalizing programs
+    (PageRank); engines that lack it can derive it from the grid store
+    with one charged scan.
+    """
+
+    num_vertices: int
+    num_edges: int
+    out_degrees: Optional[np.ndarray] = None
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def require_out_degrees(self) -> np.ndarray:
+        require(self.out_degrees is not None, "this program requires out_degrees in the context")
+        return self.out_degrees
+
+
+class VertexProgram:
+    """Base class for vertex programs. Subclasses override the hooks below.
+
+    Class attributes:
+
+    ``name``
+        registry key and display name.
+    ``combine``
+        the contribution reduction (:class:`Combine`).
+    ``needs_weights``
+        whether the program reads edge weights (SSSP does).
+    ``all_active``
+        ``True`` for programs where every vertex participates every
+        iteration (plain PageRank); such programs are scheduled with the
+        full I/O model unconditionally.
+    ``max_iterations``
+        hard iteration cap (``None`` = run to an empty frontier).
+    """
+
+    name: str = "abstract"
+    combine: Combine = Combine.MIN
+    needs_weights: bool = False
+    all_active: bool = False
+    max_iterations: Optional[int] = None
+    #: state arrays whose entries must be neutralized (set to the given
+    #: value) for *inactive* vertices before a full-scan gather. Needed
+    #: by delta-accumulating programs (PR-Delta), where an inactive
+    #: vertex's delta has already been propagated. Pairs of
+    #: ``(array_name, neutral_value)``.
+    gated_arrays: tuple = ()
+
+    # -- lifecycle hooks ---------------------------------------------------
+
+    def init_state(self, ctx: GraphContext) -> State:
+        """Allocate and initialize the per-vertex state arrays."""
+        raise NotImplementedError
+
+    def initial_frontier(self, ctx: GraphContext) -> VertexSubset:
+        """The vertices active in the first iteration."""
+        raise NotImplementedError
+
+    def gather(self, state: State, src_ids: np.ndarray, weights: Optional[np.ndarray]) -> np.ndarray:
+        """Per-edge contribution computed from ``state`` at the sources."""
+        raise NotImplementedError
+
+    def apply(
+        self,
+        state: State,
+        lo: int,
+        hi: int,
+        acc: np.ndarray,
+        touched: np.ndarray,
+    ) -> np.ndarray:
+        """Fold interval ``[lo, hi)``'s accumulator into ``state`` in place.
+
+        ``acc`` and ``touched`` have length ``hi - lo``; ``touched`` marks
+        destinations that received at least one contribution. Returns a
+        boolean array (length ``hi - lo``) of vertices activated for the
+        next iteration.
+        """
+        raise NotImplementedError
+
+    # -- derived helpers -----------------------------------------------
+
+    def state_value_bytes(self, state: State) -> int:
+        """Bytes of state per vertex — ``N`` in the paper's Table 2."""
+        return int(sum(a.dtype.itemsize for a in state.values()))
+
+    def copy_state(self, state: State) -> State:
+        """Snapshot the state (engines snapshot at each iteration boundary)."""
+        return {k: v.copy() for k, v in state.items()}
+
+    def acc_array(self, length: int) -> np.ndarray:
+        """A fresh accumulator filled with the combine identity."""
+        return np.full(length, self.combine.identity, dtype=np.float64)
+
+    def result(self, state: State) -> np.ndarray:
+        """The program's primary output array (default: ``state['value']``)."""
+        return state["value"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VertexProgram {self.name}>"

@@ -1,0 +1,47 @@
+"""Connected Components via label propagation (§5.1, [28] in the paper).
+
+Every vertex starts with its own id as its label and repeatedly adopts
+the minimum label among itself and its in-neighbors; at the fixpoint all
+vertices of a (weakly) connected component share the component's minimum
+id. Label propagation requires information to flow both ways across
+every edge, so CC should be run on a **symmetrized** edge list
+(``EdgeList.symmetrized()``; the benchmark harness does this, matching
+how out-of-core systems evaluate CC on directed inputs).
+
+Labels are stored as float64 — exact for ids below 2**53 — so the same
+min-combine accumulator machinery serves CC, SSSP and BFS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Combine, GraphContext, State, VertexProgram
+from repro.utils.bitset import VertexSubset
+
+
+class ConnectedComponents(VertexProgram):
+    name = "cc"
+    combine = Combine.MIN
+    needs_weights = False
+    all_active = False
+
+    def init_state(self, ctx: GraphContext) -> State:
+        return {"value": np.arange(ctx.num_vertices, dtype=np.float64)}
+
+    def initial_frontier(self, ctx: GraphContext) -> VertexSubset:
+        return VertexSubset.full(ctx.num_vertices)
+
+    def gather(self, state: State, src_ids: np.ndarray, weights) -> np.ndarray:
+        return state["value"][src_ids]
+
+    def apply(self, state, lo, hi, acc, touched) -> np.ndarray:
+        current = state["value"][lo:hi]
+        new = np.minimum(current, acc)
+        activated = new < current
+        state["value"][lo:hi] = new
+        return activated
+
+    def labels(self, state: State) -> np.ndarray:
+        """Integer component labels."""
+        return state["value"].astype(np.int64)

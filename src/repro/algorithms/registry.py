@@ -1,0 +1,49 @@
+"""Name-based vertex-program construction.
+
+The CLI and the benchmark harness refer to algorithms by the short names
+the paper uses (PR, PR-D, CC, SSSP); this registry maps those names to
+program factories with keyword parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.algorithms.base import VertexProgram
+from repro.algorithms.bfs import BFS
+from repro.algorithms.cc import ConnectedComponents
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.pagerank_delta import PageRankDelta
+from repro.algorithms.ppr import PersonalizedPageRank
+from repro.algorithms.sssp import SSSP
+from repro.algorithms.sswp import SSWP
+
+_FACTORIES: Dict[str, Callable[..., VertexProgram]] = {
+    "pagerank": PageRank,
+    "pr": PageRank,
+    "pagerank_delta": PageRankDelta,
+    "pr-d": PageRankDelta,
+    "prd": PageRankDelta,
+    "ppr": PersonalizedPageRank,
+    "cc": ConnectedComponents,
+    "sssp": SSSP,
+    "sswp": SSWP,
+    "bfs": BFS,
+}
+
+
+def available_programs() -> List[str]:
+    """Canonical program names (one per algorithm, no aliases)."""
+    return ["pagerank", "pagerank_delta", "ppr", "cc", "sssp", "sswp", "bfs"]
+
+
+def make_program(name: str, **params) -> VertexProgram:
+    """Instantiate the program registered under ``name`` (case-insensitive)."""
+    key = name.strip().lower().replace(" ", "_")
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown program {name!r}; available: {', '.join(available_programs())}"
+        ) from None
+    return factory(**params)

@@ -1,0 +1,37 @@
+"""Baseline systems: the paper's comparators and Table 1 context.
+
+All baselines run the same vertex programs over the same storage
+substrate as GraphSD; each reproduces one published system's I/O policy:
+
+* :class:`HUSGraphEngine` — hybrid active-aware updates, no
+  cross-iteration computation (the paper's primary comparator);
+* :class:`LumosEngine` — future-value computation over full sweeps
+  (the paper's second comparator);
+* :class:`GridGraphEngine` — 2-level grid streaming with block-grain
+  skipping;
+* :class:`GraphChiEngine` — parallel-sliding-windows with edge
+  writeback;
+* :class:`XStreamEngine` — edge-centric scatter-gather with an update
+  stream;
+* :class:`BSPReference` — the in-memory strict-BSP semantic oracle.
+"""
+
+from repro.baselines.bsp_reference import BSPReference, ReferenceResult
+from repro.baselines.common import SYSTEM_FEATURES, StreamingEngineBase
+from repro.baselines.graphchi import GraphChiEngine
+from repro.baselines.gridgraph import GridGraphEngine
+from repro.baselines.husgraph import HUSGraphEngine
+from repro.baselines.lumos import LumosEngine
+from repro.baselines.xstream import XStreamEngine
+
+__all__ = [
+    "BSPReference",
+    "ReferenceResult",
+    "SYSTEM_FEATURES",
+    "StreamingEngineBase",
+    "GraphChiEngine",
+    "GridGraphEngine",
+    "HUSGraphEngine",
+    "LumosEngine",
+    "XStreamEngine",
+]

@@ -1,0 +1,36 @@
+"""X-Stream baseline (Roy et al., SOSP '13 — reference [17]).
+
+X-Stream is edge-centric: each iteration *scatters* by streaming the
+entire unordered edge list (no index, so every edge is read regardless
+of activity) and appending an update record for each edge whose source
+is active, then *gathers* by streaming the update list back and applying
+it to destination vertices. The intermediate update stream is real disk
+traffic — X-Stream's signature cost — and is why later systems
+(GridGraph's dual sliding windows) worked to eliminate it.
+
+We model the update stream with explicit charges: one sequential write
+of ``active_edges x UPDATE_RECORD_BYTES`` during scatter and the same
+read during gather. The in-memory combine applies the identical values,
+so results stay BSP-exact.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import StreamingEngineBase
+
+#: An update record is (destination id, value) — 4 + 8 bytes.
+UPDATE_RECORD_BYTES = 12
+
+
+class XStreamEngine(StreamingEngineBase):
+    """Edge-centric scatter-gather streaming with an update stream."""
+
+    engine_name = "xstream"
+    model_label = "scatter_gather"
+
+    def _post_sweep(self, edges_processed: int, active_edges: int) -> None:
+        stream_bytes = active_edges * UPDATE_RECORD_BYTES
+        if stream_bytes:
+            # Scatter appends updates; gather streams them back.
+            self.disk.charge_write_sequential(stream_bytes, requests=self.store.P)
+            self.disk.charge_read_sequential(stream_bytes, requests=self.store.P)

@@ -1,0 +1,44 @@
+"""Benchmark harness reproducing every table and figure of §5."""
+
+from repro.bench.harness import Harness, SYSTEMS, SystemSpec, WORKLOADS, Workload
+from repro.bench.reporting import ExperimentReport, format_table, mib, normalize
+from repro.bench.traces import comparison_csv, iteration_rows, iteration_trace_csv
+from repro.bench.experiments import (
+    PAPER_ALGOS,
+    PAPER_SYSTEMS,
+    run_fig10_scheduler,
+    run_fig11_overhead,
+    run_fig12_buffering,
+    run_fig6_breakdown,
+    run_fig7_io_traffic,
+    run_fig8_preprocessing,
+    run_fig9_ablation,
+    run_table1_features,
+    run_table4_fig5,
+)
+
+__all__ = [
+    "Harness",
+    "SYSTEMS",
+    "SystemSpec",
+    "WORKLOADS",
+    "Workload",
+    "ExperimentReport",
+    "format_table",
+    "mib",
+    "normalize",
+    "PAPER_ALGOS",
+    "PAPER_SYSTEMS",
+    "run_fig10_scheduler",
+    "run_fig11_overhead",
+    "run_fig12_buffering",
+    "run_fig6_breakdown",
+    "run_fig7_io_traffic",
+    "run_fig8_preprocessing",
+    "run_fig9_ablation",
+    "run_table1_features",
+    "run_table4_fig5",
+    "comparison_csv",
+    "iteration_rows",
+    "iteration_trace_csv",
+]

@@ -1,0 +1,260 @@
+"""Experiment harness: systems × algorithms × datasets, with caching.
+
+Joins the pieces: dataset proxies, per-system preprocessing pipelines,
+engines, and metric collection. Preprocessed representations are cached
+per (dataset variant, representation) so a 3-system × 4-algorithm sweep
+preprocesses each graph once per representation, exactly like reusing
+on-disk preprocessed data across runs (which the paper calls out as the
+amortization argument in §5.3).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms import make_program
+from repro.algorithms.base import GraphContext, VertexProgram
+from repro.baselines import (
+    BSPReference,
+    GraphChiEngine,
+    GridGraphEngine,
+    HUSGraphEngine,
+    LumosEngine,
+    XStreamEngine,
+)
+from repro.core import GraphSDConfig, GraphSDEngine, RunResult
+from repro.core.engine_base import EngineBase
+from repro.datasets import load_dataset
+from repro.graph import (
+    EdgeList,
+    GridStore,
+    PreprocessResult,
+    make_intervals,
+    preprocess_graphsd,
+    preprocess_husgraph,
+    preprocess_lumos,
+)
+from repro.graph.degree import out_degrees
+from repro.storage import Device, MachineProfile, SimulatedDisk, DEFAULT_MACHINE
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One of the paper's evaluation workloads (§5.1)."""
+
+    key: str
+    algorithm: str
+    params: Dict[str, object] = field(default_factory=dict)
+    weighted: bool = False
+    symmetrize: bool = False
+
+    def make_program(self) -> VertexProgram:
+        return make_program(self.algorithm, **self.params)
+
+
+#: The paper's four workloads: PR runs 5 iterations, PR-D 20; CC and SSSP
+#: run to convergence. CC uses the symmetrized (undirected) view; SSSP
+#: needs weights.
+WORKLOADS: Dict[str, Workload] = {
+    "pr": Workload("pr", "pagerank", {"iterations": 5}),
+    "pr-d": Workload("pr-d", "pagerank_delta", {"iterations": 20}),
+    "cc": Workload("cc", "cc", symmetrize=True),
+    "sssp": Workload("sssp", "sssp", {"source": 0}, weighted=True),
+    "bfs": Workload("bfs", "bfs", {"root": 0}),
+    "sswp": Workload("sswp", "sswp", {"source": 0}, weighted=True),
+    "ppr": Workload("ppr", "ppr", {"seeds": [0]}),
+}
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A system under test: its representation + engine factory."""
+
+    name: str
+    representation: str  # cache key: which preprocessing pipeline
+    make_engine: Callable[..., EngineBase]
+
+
+def _graphsd_engine(config: Optional[GraphSDConfig] = None, label: Optional[str] = None):
+    def make(store: GridStore, machine: MachineProfile, ctx: GraphContext) -> EngineBase:
+        return GraphSDEngine(store, machine, config=config, ctx=ctx, label=label)
+
+    return make
+
+
+def _simple_engine(cls):
+    def make(store: GridStore, machine: MachineProfile, ctx: GraphContext) -> EngineBase:
+        return cls(store, machine, ctx=ctx)
+
+    return make
+
+
+SYSTEMS: Dict[str, SystemSpec] = {
+    "graphsd": SystemSpec("graphsd", "graphsd", _graphsd_engine()),
+    "graphsd-b1": SystemSpec(
+        "graphsd-b1", "graphsd", _graphsd_engine(GraphSDConfig.baseline_b1(), "graphsd-b1")
+    ),
+    "graphsd-b2": SystemSpec(
+        "graphsd-b2", "graphsd", _graphsd_engine(GraphSDConfig.baseline_b2(), "graphsd-b2")
+    ),
+    "graphsd-b3": SystemSpec(
+        "graphsd-b3", "graphsd", _graphsd_engine(GraphSDConfig.baseline_b3(), "graphsd-b3")
+    ),
+    "graphsd-b4": SystemSpec(
+        "graphsd-b4", "graphsd", _graphsd_engine(GraphSDConfig.baseline_b4(), "graphsd-b4")
+    ),
+    "graphsd-nobuffer": SystemSpec(
+        "graphsd-nobuffer",
+        "graphsd",
+        _graphsd_engine(GraphSDConfig.no_buffering(), "graphsd-nobuffer"),
+    ),
+    "husgraph": SystemSpec("husgraph", "husgraph", _simple_engine(HUSGraphEngine)),
+    "lumos": SystemSpec("lumos", "lumos", _simple_engine(LumosEngine)),
+    "gridgraph": SystemSpec("gridgraph", "lumos", _simple_engine(GridGraphEngine)),
+    "graphchi": SystemSpec("graphchi", "lumos", _simple_engine(GraphChiEngine)),
+    "xstream": SystemSpec("xstream", "lumos", _simple_engine(XStreamEngine)),
+}
+
+_PREPROCESSORS = {
+    "graphsd": preprocess_graphsd,
+    "husgraph": preprocess_husgraph,
+    "lumos": preprocess_lumos,
+}
+
+
+class Harness:
+    """Runs (system, workload, dataset) combinations with representation caching."""
+
+    def __init__(
+        self,
+        workspace: Optional[str] = None,
+        machine: MachineProfile = DEFAULT_MACHINE,
+        P: int = 8,
+        verify: bool = False,
+    ) -> None:
+        if workspace is None:
+            self._tmpdir = tempfile.mkdtemp(prefix="graphsd-bench-")
+            self.workspace = Path(self._tmpdir)
+            self._owns_workspace = True
+        else:
+            self.workspace = Path(workspace)
+            self.workspace.mkdir(parents=True, exist_ok=True)
+            self._owns_workspace = False
+        self.machine = machine
+        self.P = P
+        self.verify = verify
+        self._stores: Dict[Tuple, Tuple[GridStore, PreprocessResult]] = {}
+        self._edges: Dict[Tuple, EdgeList] = {}
+        self._contexts: Dict[Tuple, GraphContext] = {}
+        self._reference_cache: Dict[Tuple, np.ndarray] = {}
+        self._run_cache: Dict[Tuple[str, str, str], RunResult] = {}
+
+    # -- inputs --------------------------------------------------------
+
+    def edges_for(self, dataset: str, workload: Workload) -> EdgeList:
+        key = (dataset, workload.weighted, workload.symmetrize)
+        if key not in self._edges:
+            self._edges[key] = load_dataset(
+                dataset, weighted=workload.weighted, symmetrize=workload.symmetrize
+            )
+        return self._edges[key]
+
+    def context_for(self, dataset: str, workload: Workload) -> GraphContext:
+        """Shared per-graph context (degrees computed once, in memory)."""
+        key = (dataset, workload.weighted, workload.symmetrize)
+        if key not in self._contexts:
+            edges = self.edges_for(dataset, workload)
+            self._contexts[key] = GraphContext(
+                num_vertices=edges.num_vertices,
+                num_edges=edges.num_edges,
+                out_degrees=out_degrees(edges),
+            )
+        return self._contexts[key]
+
+    # -- preprocessing (cached) ---------------------------------------------
+
+    def preprocess(
+        self, representation: str, dataset: str, workload: Workload
+    ) -> Tuple[GridStore, PreprocessResult]:
+        require(representation in _PREPROCESSORS, f"unknown representation {representation!r}")
+        key = (representation, dataset, workload.weighted, workload.symmetrize, self.P)
+        if key not in self._stores:
+            edges = self.edges_for(dataset, workload)
+            tag = f"{dataset}-{'w' if workload.weighted else 'u'}{'s' if workload.symmetrize else 'd'}"
+            device = Device(
+                self.workspace / representation / tag,
+                SimulatedDisk(self.machine.disk),
+            )
+            result = _PREPROCESSORS[representation](
+                edges, device, P=self.P, machine=self.machine
+            )
+            self._stores[key] = (result.store, result)
+        return self._stores[key]
+
+    def preprocess_result(self, system: str, dataset: str) -> PreprocessResult:
+        """Preprocessing metrics for Fig. 8 (unweighted directed input)."""
+        spec = SYSTEMS[system]
+        _store, result = self.preprocess(spec.representation, dataset, WORKLOADS["pr"])
+        return result
+
+    # -- execution -----------------------------------------------------
+
+    def run(
+        self, system: str, workload_key: str, dataset: str, use_cache: bool = True
+    ) -> RunResult:
+        """Execute one (system, workload, dataset) cell.
+
+        Executions are deterministic (simulated clock, fixed seeds), so
+        results are memoized by default; experiments that share cells
+        (Table 4 / Fig. 5 / Fig. 6 / Fig. 7 all reuse the same runs, as
+        the paper's evaluation does) pay for each cell once.
+        """
+        key = (system, workload_key, dataset)
+        if use_cache and key in self._run_cache:
+            return self._run_cache[key]
+        spec = SYSTEMS[system]
+        workload = WORKLOADS[workload_key]
+        store, _prep = self.preprocess(spec.representation, dataset, workload)
+        ctx = self.context_for(dataset, workload)
+        engine = spec.make_engine(store, self.machine, ctx)
+        result = engine.run(workload.make_program())
+        if self.verify:
+            self.check_against_reference(result, workload, dataset)
+        if use_cache:
+            self._run_cache[key] = result
+        return result
+
+    def check_against_reference(
+        self, result: RunResult, workload: Workload, dataset: str
+    ) -> None:
+        """Assert the engine's values match the in-memory BSP oracle."""
+        key = (workload.key, dataset)
+        if key not in self._reference_cache:
+            edges = self.edges_for(dataset, workload)
+            ref = BSPReference(edges).run(workload.make_program())
+            self._reference_cache[key] = ref.values
+        expected = self._reference_cache[key]
+        require(
+            bool(np.allclose(expected, result.values, equal_nan=True)),
+            f"{result.engine} produced wrong {workload.key} values on {dataset}",
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def cleanup(self) -> None:
+        if self._owns_workspace:
+            shutil.rmtree(self.workspace, ignore_errors=True)
+        self._stores.clear()
+
+    def __enter__(self) -> "Harness":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.cleanup()

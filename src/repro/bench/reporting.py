@@ -1,0 +1,88 @@
+"""Plain-text rendering of experiment results.
+
+The paper's evaluation communicates through normalized bar charts and
+small tables; the harness renders the same content as aligned text
+tables (one per table/figure) so `pytest benchmarks/` output reads like
+the evaluation section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[c]) for row in cells) for c in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def normalize(values: Mapping[str, float], reference: str) -> Dict[str, float]:
+    """Each value divided by ``values[reference]`` (the paper's Fig. 5 style)."""
+    ref = values[reference]
+    if ref == 0:
+        return {k: 0.0 for k in values}
+    return {k: v / ref for k, v in values.items()}
+
+
+def mib(nbytes: float) -> float:
+    return nbytes / (1 << 20)
+
+
+@dataclass
+class ExperimentReport:
+    """One table/figure worth of reproduced results."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: Free-form payload for machine consumption (EXPERIMENTS.md tooling).
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, *values: object) -> None:
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.append(format_table(self.headers, self.rows))
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering (for EXPERIMENTS.md)."""
+        lines = [f"### {self.experiment_id}: {self.title}", ""]
+        lines.append("| " + " | ".join(str(h) for h in self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*{note}*")
+        return "\n".join(lines)

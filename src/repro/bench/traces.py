@@ -1,0 +1,116 @@
+"""Export run traces for plotting and offline analysis.
+
+The paper's Fig. 10 plots per-iteration execution times; downstream
+users typically want the same series (plus frontier sizes, I/O model
+choices and byte counts) as flat files they can feed to matplotlib,
+gnuplot or a spreadsheet. This module renders :class:`RunResult`
+objects to CSV without depending on any plotting library.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Mapping, Optional, Union
+
+from repro.core.result import RunResult
+
+ITERATION_FIELDS = [
+    "iteration",
+    "model",
+    "frontier_size",
+    "edges_processed",
+    "activated",
+    "cross_pushed",
+    "sim_seconds",
+    "io_seconds",
+    "compute_seconds",
+    "scheduling_seconds",
+    "io_bytes",
+    "bytes_read",
+    "bytes_written",
+    "cache_hits",
+]
+
+
+def iteration_rows(result: RunResult) -> List[dict]:
+    """One dict per executed iteration with the standard trace fields."""
+    rows = []
+    for rec in result.per_iteration:
+        rows.append(
+            {
+                "iteration": rec.iteration,
+                "model": rec.model,
+                "frontier_size": rec.frontier_size,
+                "edges_processed": rec.edges_processed,
+                "activated": rec.activated,
+                "cross_pushed": rec.cross_pushed,
+                "sim_seconds": rec.breakdown.total,
+                "io_seconds": rec.breakdown.io,
+                "compute_seconds": rec.breakdown.compute,
+                "scheduling_seconds": rec.breakdown.scheduling,
+                "io_bytes": rec.io.total_traffic,
+                "bytes_read": rec.io.bytes_read,
+                "bytes_written": rec.io.bytes_written,
+                "cache_hits": rec.io.cache_hits,
+            }
+        )
+    return rows
+
+
+def iteration_trace_csv(
+    result: RunResult, path: Optional[Union[str, Path]] = None
+) -> str:
+    """Render (and optionally write) the per-iteration trace as CSV."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=ITERATION_FIELDS, lineterminator="\n")
+    writer.writeheader()
+    for row in iteration_rows(result):
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def comparison_csv(
+    results: Mapping[str, RunResult], path: Optional[Union[str, Path]] = None
+) -> str:
+    """Summary CSV across several runs (one row per labelled result)."""
+    buffer = io.StringIO()
+    fields = [
+        "label",
+        "engine",
+        "program",
+        "iterations",
+        "converged",
+        "sim_seconds",
+        "io_seconds",
+        "compute_seconds",
+        "scheduling_seconds",
+        "io_bytes",
+        "wall_seconds",
+    ]
+    writer = csv.DictWriter(buffer, fieldnames=fields, lineterminator="\n")
+    writer.writeheader()
+    for label, r in results.items():
+        writer.writerow(
+            {
+                "label": label,
+                "engine": r.engine,
+                "program": r.program,
+                "iterations": r.iterations,
+                "converged": r.converged,
+                "sim_seconds": r.sim_seconds,
+                "io_seconds": r.io_seconds,
+                "compute_seconds": r.compute_seconds,
+                "scheduling_seconds": r.breakdown.scheduling,
+                "io_bytes": r.io_traffic,
+                "wall_seconds": r.wall_seconds,
+            }
+        )
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

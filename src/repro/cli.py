@@ -1,0 +1,213 @@
+"""Command-line front-end: ``graphsd`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``datasets``
+    List the Table 3 dataset proxies and their sizes.
+``preprocess``
+    Build a system's on-disk representation for a dataset into a
+    directory (reusable across runs, as §5.3 advocates).
+``run``
+    Execute one algorithm on one dataset with one system and print the
+    run summary plus the per-iteration trace.
+``bench``
+    Regenerate one of the paper's tables/figures (or ``all``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.bench import (
+    Harness,
+    SYSTEMS,
+    WORKLOADS,
+    run_fig10_scheduler,
+    run_fig11_overhead,
+    run_fig12_buffering,
+    run_fig6_breakdown,
+    run_fig7_io_traffic,
+    run_fig8_preprocessing,
+    run_fig9_ablation,
+    run_table1_features,
+    run_table4_fig5,
+)
+from repro.bench.reporting import format_table
+from repro.datasets import list_datasets, load_dataset, table3_rows
+from repro.graph import preprocess_graphsd, preprocess_husgraph, preprocess_lumos
+from repro.storage import Device
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    rows = table3_rows()
+    headers = list(rows[0].keys())
+    print(format_table(headers, [[r[h] for h in headers] for r in rows]))
+    return 0
+
+
+def _cmd_preprocess(args: argparse.Namespace) -> int:
+    edges = load_dataset(args.dataset, weighted=args.weighted, symmetrize=args.symmetrize)
+    device = Device(args.out)
+    pipeline = {
+        "graphsd": preprocess_graphsd,
+        "husgraph": preprocess_husgraph,
+        "lumos": preprocess_lumos,
+    }[args.system]
+    result = pipeline(edges, device, P=args.partitions)
+    print(
+        f"preprocessed {args.dataset} for {args.system}: "
+        f"|V|={edges.num_vertices:,} |E|={edges.num_edges:,} P={args.partitions}"
+    )
+    print(f"  simulated time: {result.sim_seconds:.3f}s (wall {result.wall_seconds:.2f}s)")
+    print(f"  on-disk size: {device.total_bytes() / (1 << 20):.1f} MiB at {device.root}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    harness = Harness(workspace=args.workspace, P=args.partitions, verify=args.verify)
+    try:
+        result = harness.run(args.system, args.algorithm, args.dataset)
+    finally:
+        if args.workspace is None:
+            harness.cleanup()
+    print(result.summary())
+    if args.trace:
+        rows = [
+            [
+                r.iteration,
+                r.model,
+                r.frontier_size,
+                r.edges_processed,
+                f"{r.sim_seconds:.4f}",
+                f"{r.io_bytes / (1 << 20):.2f}",
+            ]
+            for r in result.per_iteration
+        ]
+        print(
+            format_table(
+                ["iter", "model", "frontier", "edges", "sim s", "I/O MiB"], rows
+            )
+        )
+    if args.csv:
+        from repro.bench.traces import iteration_trace_csv
+
+        iteration_trace_csv(result, args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        payload = {
+            "engine": result.engine,
+            "program": result.program,
+            "iterations": result.iterations,
+            "converged": result.converged,
+            "sim_seconds": result.sim_seconds,
+            "io_seconds": result.io_seconds,
+            "compute_seconds": result.compute_seconds,
+            "io_traffic_bytes": result.io_traffic,
+            "wall_seconds": result.wall_seconds,
+            "models": result.model_history,
+            "frontiers": result.frontier_history,
+        }
+        with open(args.json, "w") as f:
+            json.dump(payload, f, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+_EXPERIMENTS = {
+    "table1": lambda h: [run_table1_features()],
+    "table4": lambda h: list(run_table4_fig5(h)),
+    "fig5": lambda h: list(run_table4_fig5(h)),
+    "fig6": lambda h: [run_fig6_breakdown(h)],
+    "fig7": lambda h: [run_fig7_io_traffic(h)],
+    "fig8": lambda h: [run_fig8_preprocessing(h)],
+    "fig9": lambda h: [run_fig9_ablation(h)],
+    "fig10": lambda h: [run_fig10_scheduler(h)],
+    "fig11": lambda h: [run_fig11_overhead(h)],
+    "fig12": lambda h: [run_fig12_buffering(h)],
+}
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.bench.record import generate_experiments_md
+
+    with Harness(P=args.partitions, verify=args.verify) as harness:
+        text = generate_experiments_md(harness, args.out)
+    if args.out:
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    with Harness(P=args.partitions, verify=args.verify) as harness:
+        for name in names:
+            for report in _EXPERIMENTS[name](harness):
+                print(report.render())
+                print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="graphsd",
+        description="GraphSD (ICPP '22) reproduction: out-of-core graph processing "
+        "with a state- and dependency-aware update strategy.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the Table 3 dataset proxies").set_defaults(
+        func=_cmd_datasets
+    )
+
+    p = sub.add_parser("preprocess", help="build an on-disk representation")
+    p.add_argument("--dataset", required=True, choices=list_datasets())
+    p.add_argument("--system", default="graphsd", choices=["graphsd", "husgraph", "lumos"])
+    p.add_argument("--out", required=True, help="output directory")
+    p.add_argument("-P", "--partitions", type=int, default=8)
+    p.add_argument("--weighted", action="store_true")
+    p.add_argument("--symmetrize", action="store_true")
+    p.set_defaults(func=_cmd_preprocess)
+
+    p = sub.add_parser("run", help="run one algorithm / dataset / system")
+    p.add_argument("--dataset", required=True, choices=list_datasets())
+    p.add_argument("--algorithm", required=True, choices=list(WORKLOADS))
+    p.add_argument("--system", default="graphsd", choices=list(SYSTEMS))
+    p.add_argument("-P", "--partitions", type=int, default=8)
+    p.add_argument("--workspace", default=None, help="reuse a preprocessing workspace")
+    p.add_argument("--trace", action="store_true", help="print the per-iteration trace")
+    p.add_argument("--verify", action="store_true", help="check against the BSP oracle")
+    p.add_argument("--json", default=None, help="write a JSON result file")
+    p.add_argument("--csv", default=None, help="write a per-iteration CSV trace")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "record", help="run every experiment and write EXPERIMENTS.md"
+    )
+    p.add_argument("--out", default=None, help="output markdown file (default: stdout)")
+    p.add_argument("-P", "--partitions", type=int, default=8)
+    p.add_argument("--verify", action="store_true")
+    p.set_defaults(func=_cmd_record)
+
+    p = sub.add_parser("bench", help="regenerate a table/figure of the paper")
+    p.add_argument(
+        "--experiment", default="all", choices=["all"] + list(_EXPERIMENTS)
+    )
+    p.add_argument("-P", "--partitions", type=int, default=8)
+    p.add_argument("--verify", action="store_true")
+    p.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

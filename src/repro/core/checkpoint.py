@@ -1,0 +1,151 @@
+"""Checkpoint/resume support for long engine runs.
+
+Out-of-core executions are long (the paper's Kron30 SSSP runs for six
+hours); a crash mid-run should not force a restart from iteration zero.
+The engines already persist vertex state to disk after every iteration
+(the ``|V| x N`` writeback of the cost model), so checkpointing only
+needs to add the *control state*: the frontier bitmap, the iteration
+counter, and — for cross-iteration engines — the carried accumulator
+holding contributions pre-pushed for the next apply.
+
+Usage::
+
+    engine.run(program, checkpoint_tag="nightly")      # writes as it goes
+    # ... crash ...
+    engine.run(program, checkpoint_tag="nightly", resume=True)
+
+A resumed :class:`~repro.core.result.RunResult` reports cumulative
+``iterations`` but only the post-resume per-iteration records and
+clock/traffic deltas (the pre-crash portion was billed to the run that
+crashed). Checkpoints are discarded automatically when a run converges.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.graph.vertexdata import VertexArrayStore
+from repro.storage.blockfile import Device
+from repro.utils.bitset import VertexSubset
+from repro.utils.validation import require
+
+MASK_DTYPE = np.uint8
+
+
+@dataclass
+class CheckpointMeta:
+    """The JSON sidecar describing a checkpoint."""
+
+    program: str
+    iterations_done: int
+    state_arrays: Dict[str, str]  # array name -> file name
+    extra_arrays: Dict[str, str]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "program": self.program,
+                "iterations_done": self.iterations_done,
+                "state_arrays": self.state_arrays,
+                "extra_arrays": self.extra_arrays,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CheckpointMeta":
+        data = json.loads(text)
+        return cls(
+            program=data["program"],
+            iterations_done=int(data["iterations_done"]),
+            state_arrays=dict(data["state_arrays"]),
+            extra_arrays=dict(data["extra_arrays"]),
+        )
+
+
+class CheckpointManager:
+    """Writes and restores one engine run's control state on a device."""
+
+    def __init__(self, device: Device, base_name: str) -> None:
+        self.device = device
+        self.base_name = base_name
+        self._sidecar_path = device.root / f"{base_name}.ckpt.json"
+
+    @property
+    def exists(self) -> bool:
+        return self._sidecar_path.exists()
+
+    def _array_store(self, label: str, length: int, dtype) -> VertexArrayStore:
+        return VertexArrayStore(
+            self.device, f"{self.base_name}.{label}.ckpt", length, dtype
+        )
+
+    # -- writing -----------------------------------------------------------
+
+    def write(
+        self,
+        program_name: str,
+        iterations_done: int,
+        frontier: VertexSubset,
+        state_array_files: Dict[str, str],
+        extra_arrays: Optional[Dict[str, np.ndarray]] = None,
+    ) -> None:
+        """Persist control state after a completed round.
+
+        ``state_array_files`` names the (already persisted) vertex value
+        files; ``extra_arrays`` holds engine-specific payload (e.g. the
+        carried cross-iteration accumulator), written here.
+        """
+        n = frontier.num_vertices
+        self._array_store("frontier", n, MASK_DTYPE).store_all(
+            frontier.mask.astype(MASK_DTYPE)
+        )
+        extra_names: Dict[str, str] = {"frontier": f"{self.base_name}.frontier.ckpt"}
+        for label, arr in (extra_arrays or {}).items():
+            dtype = MASK_DTYPE if arr.dtype == bool else arr.dtype
+            store = self._array_store(label, arr.shape[0], dtype)
+            store.store_all(arr.astype(dtype))
+            extra_names[label] = f"{self.base_name}.{label}.ckpt"
+        meta = CheckpointMeta(
+            program=program_name,
+            iterations_done=iterations_done,
+            state_arrays=dict(state_array_files),
+            extra_arrays=extra_names,
+        )
+        # The sidecar is written last so a crash mid-checkpoint leaves
+        # the previous (still consistent) checkpoint in force.
+        tmp = self._sidecar_path.with_suffix(".json.tmp")
+        tmp.write_text(meta.to_json())
+        tmp.replace(self._sidecar_path)
+
+    # -- restoring -----------------------------------------------------
+
+    def load_meta(self, expected_program: str) -> CheckpointMeta:
+        require(self.exists, f"no checkpoint at {self._sidecar_path}")
+        meta = CheckpointMeta.from_json(self._sidecar_path.read_text())
+        require(
+            meta.program == expected_program,
+            f"checkpoint belongs to program {meta.program!r}, not {expected_program!r}",
+        )
+        return meta
+
+    def load_frontier(self, num_vertices: int) -> VertexSubset:
+        mask = self._array_store("frontier", num_vertices, MASK_DTYPE).load_all()
+        return VertexSubset(num_vertices, mask.astype(bool))
+
+    def load_extra(self, label: str, length: int, dtype) -> np.ndarray:
+        stored_dtype = MASK_DTYPE if np.dtype(dtype) == bool else np.dtype(dtype)
+        arr = self._array_store(label, length, stored_dtype).load_all()
+        return arr.astype(dtype)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def discard(self) -> None:
+        """Remove the sidecar and all checkpoint array files."""
+        if self._sidecar_path.exists():
+            self._sidecar_path.unlink()
+        for path in self.device.root.glob(f"{self.base_name}.*.ckpt"):
+            path.unlink()

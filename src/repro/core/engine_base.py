@@ -1,0 +1,356 @@
+"""Shared engine plumbing.
+
+Every engine in the repository — GraphSD itself, its ablation variants,
+and the baseline I/O-policy models — executes the same vertex programs
+over the same on-disk grid representation. This module holds everything
+they share:
+
+* context construction (vertex/edge counts, out-degrees — derived from
+  the store with one charged scan when not supplied);
+* per-iteration state persistence (vertex values are re-read from and
+  written back to disk every iteration, the ``|V| x N / B`` terms of the
+  paper's cost model);
+* vectorized gather / combine / apply helpers with modeled compute
+  charging and frontier gating;
+* the run loop skeleton and per-iteration metric capture.
+
+Subclasses implement :meth:`EngineBase._run_round`, which executes one
+*round* (one iteration for most engines; an FCIU round covers two) and
+returns the next frontier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import (
+    Combine,
+    GraphContext,
+    State,
+    VertexProgram,
+    scatter_combine,
+)
+from repro.core.result import IterationRecord, RunResult
+from repro.graph.grid import EdgeBlock, GridStore
+from repro.graph.vertexdata import VertexArrayStore
+from repro.storage.disk import MachineProfile, DEFAULT_MACHINE
+from repro.utils.bitset import VertexSubset
+from repro.utils.timers import COMPUTE, WallTimer
+from repro.utils.validation import require
+
+
+class EngineBase:
+    """Template for grid-based out-of-core engines."""
+
+    engine_name = "abstract"
+
+    def __init__(
+        self,
+        store: GridStore,
+        machine: MachineProfile = DEFAULT_MACHINE,
+        ctx: Optional[GraphContext] = None,
+    ) -> None:
+        self.store = store
+        self.machine = machine
+        self.device = store.device
+        self.disk = store.device.disk
+        self.clock = self.disk.clock
+        self.ctx = ctx if ctx is not None else self.build_context()
+
+        # Populated per run:
+        self.program: Optional[VertexProgram] = None
+        self.state: State = {}
+        self.prev: State = {}
+        self.frontier: Optional[VertexSubset] = None
+        self._value_stores: Dict[str, VertexArrayStore] = {}
+        self._records: List[IterationRecord] = []
+        self._iterations_done = 0
+        self._iteration_cap = 0
+
+    # -- context ---------------------------------------------------------
+
+    def build_context(self) -> GraphContext:
+        """Derive the graph context from the store (one charged scan).
+
+        Reads the source column once to compute out-degrees — engines
+        need them for PageRank normalization and the scheduler's
+        active-edge sizing.
+        """
+        src = self.store.read_all_sources()
+        degrees = np.bincount(src, minlength=self.store.num_vertices).astype(np.int64)
+        self.clock.charge(COMPUTE, self.machine.edge_compute_time(src.shape[0]))
+        return GraphContext(
+            num_vertices=self.store.num_vertices,
+            num_edges=self.store.total_edges,
+            out_degrees=degrees,
+        )
+
+    # -- state persistence -------------------------------------------------
+
+    def _init_value_stores(self, store_initial: bool = True) -> None:
+        self._value_stores = {
+            name: VertexArrayStore(
+                self.device,
+                f"{self.store.prefix}.{self.engine_name}.{self.program.name}.{name}",
+                self.ctx.num_vertices,
+                arr.dtype,
+            )
+            for name, arr in self.state.items()
+        }
+        if store_initial:
+            self._store_state()
+
+    def _store_state(self) -> None:
+        """Write every state array back to disk (charged sequential write)."""
+        for name, arr in self.state.items():
+            self._value_stores[name].store_all(arr)
+
+    def _load_state(self) -> None:
+        """Re-read every state array from disk (charged sequential read)."""
+        for name in self.state:
+            self.state[name] = self._value_stores[name].load_all()
+
+    def _cleanup_value_stores(self) -> None:
+        for vs in self._value_stores.values():
+            vs.delete()
+        self._value_stores = {}
+
+    @property
+    def state_value_bytes(self) -> int:
+        """Per-vertex state footprint (``N`` in the cost model)."""
+        return self.program.state_value_bytes(self.state)
+
+    # -- vectorized kernels with compute charging ---------------------------
+
+    def gather_block(
+        self,
+        snapshot: State,
+        block: EdgeBlock,
+        gate_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Per-edge contributions of ``block`` computed from ``snapshot``.
+
+        ``gate_mask`` (a per-vertex bool array) neutralizes contributions
+        whose source is outside the mask — engines gate full scans to the
+        frontier so inactive sources contribute the combine identity.
+        Returns ``(contributions, edge_mask)``: ``edge_mask`` marks the
+        non-neutralized edges (``None`` when ungated) and must be passed
+        through to :meth:`combine_block`.
+        """
+        if self.program.needs_weights:
+            require(block.wgt is not None, f"{self.program.name} requires edge weights")
+        contrib = self.program.gather(snapshot, block.src, block.wgt)
+        edge_mask: Optional[np.ndarray] = None
+        if gate_mask is not None:
+            edge_mask = gate_mask[block.src]
+            neutral = 0.0 if self.program.combine is Combine.ADD else np.inf
+            contrib = np.where(edge_mask, contrib, neutral)
+        self.clock.charge(COMPUTE, self.machine.edge_compute_time(block.count))
+        return contrib, edge_mask
+
+    def combine_block(
+        self,
+        acc: np.ndarray,
+        touched: np.ndarray,
+        block: EdgeBlock,
+        contrib: np.ndarray,
+        edge_mask: Optional[np.ndarray] = None,
+    ) -> None:
+        """Reduce ``contrib`` into the global accumulator at block.dst.
+
+        Only destinations of edges selected by ``edge_mask`` (all edges
+        when ``None``) are marked touched — neutralized contributions
+        must not create phantom activity or phantom pending work.
+        """
+        scatter_combine(self.program.combine, acc, block.dst, contrib)
+        if edge_mask is None:
+            touched[block.dst] = True
+        else:
+            touched[block.dst[edge_mask]] = True
+
+    def apply_interval(
+        self,
+        interval: int,
+        acc: np.ndarray,
+        touched: np.ndarray,
+        activated_mask: np.ndarray,
+    ) -> int:
+        """Apply one interval's accumulated contributions to the state.
+
+        ``acc``/``touched`` are global arrays; ``activated_mask`` is the
+        global activation mask updated in place. Returns the number of
+        vertices activated in this interval.
+        """
+        lo, hi = self.store.intervals.bounds(interval)
+        activated = self.program.apply(self.state, lo, hi, acc[lo:hi], touched[lo:hi])
+        self.clock.charge(COMPUTE, self.machine.vertex_compute_time(hi - lo))
+        activated_mask[lo:hi] = activated
+        return int(np.count_nonzero(activated))
+
+    def fresh_accumulator(self) -> Tuple[np.ndarray, np.ndarray]:
+        """A (acc, touched) pair filled with the combine identity."""
+        n = self.ctx.num_vertices
+        return self.program.acc_array(n), np.zeros(n, dtype=bool)
+
+    # -- iteration metric capture ----------------------------------------
+
+    def begin_iteration(self):
+        return (self.clock.snapshot(), self.disk.stats.snapshot())
+
+    def end_iteration(
+        self,
+        token,
+        model: str,
+        frontier_size: int,
+        edges_processed: int,
+        activated: int,
+        cross_pushed: int = 0,
+    ) -> None:
+        clock_before, stats_before = token
+        self._iterations_done += 1
+        self._records.append(
+            IterationRecord(
+                iteration=self._iterations_done,
+                model=model,
+                frontier_size=frontier_size,
+                edges_processed=edges_processed,
+                breakdown=self.clock.snapshot() - clock_before,
+                io=self.disk.stats - stats_before,
+                activated=activated,
+                cross_pushed=cross_pushed,
+            )
+        )
+
+    @property
+    def iterations_remaining(self) -> int:
+        return self._iteration_cap - self._iterations_done
+
+    # -- the run loop ------------------------------------------------------
+
+    def _setup_run(self) -> None:
+        """Hook for engine-specific per-run state (buffers, accumulators)."""
+
+    def _has_pending_work(self) -> bool:
+        """Hook: contributions pre-pushed for the next iteration.
+
+        Cross-iteration engines override this: when every remaining
+        active vertex was cross-pushed, the frontier (``Out``) is empty
+        but the pre-pushed contributions (``OutNI``-bound updates) still
+        need one more apply — the run is not converged yet.
+        """
+        return False
+
+    def _run_round(self) -> VertexSubset:
+        """Execute one round; return the next frontier. Must call
+        :meth:`begin_iteration`/:meth:`end_iteration` once per executed
+        iteration and :meth:`_store_state` after each iteration's applies."""
+        raise NotImplementedError
+
+    # -- checkpoint hooks (engine-specific control state) --------------------
+
+    def _checkpoint_extra_arrays(self) -> "Dict[str, np.ndarray]":
+        """Engine-specific arrays to persist alongside each checkpoint."""
+        return {}
+
+    def _restore_extra_arrays(self, manager) -> None:
+        """Restore whatever :meth:`_checkpoint_extra_arrays` persisted."""
+
+    def _checkpoint_manager(self, tag: str):
+        from repro.core.checkpoint import CheckpointManager
+
+        base = f"{self.store.prefix}.{self.engine_name}.{self.program.name}.{tag}"
+        return CheckpointManager(self.device, base)
+
+    def run(
+        self,
+        program: VertexProgram,
+        max_iterations: Optional[int] = None,
+        keep_value_files: bool = False,
+        checkpoint_tag: Optional[str] = None,
+        resume: bool = False,
+    ) -> RunResult:
+        """Execute ``program`` to convergence or the iteration cap.
+
+        With ``checkpoint_tag`` set, control state is checkpointed after
+        every round; ``resume=True`` continues from such a checkpoint
+        (see :mod:`repro.core.checkpoint`). A resumed result reports
+        cumulative ``iterations`` but only post-resume per-iteration
+        records and time/traffic.
+        """
+        if program.needs_weights:
+            require(
+                self.store.has_weights,
+                f"{program.name} requires a weighted graph store",
+            )
+        require(not (resume and checkpoint_tag is None), "resume requires checkpoint_tag")
+        self.program = program
+        self.state = program.init_state(self.ctx)
+        self.frontier = program.initial_frontier(self.ctx)
+        self._records = []
+        self._iterations_done = 0
+
+        caps = [c for c in (program.max_iterations, max_iterations) if c is not None]
+        self._iteration_cap = min(caps) if caps else self.ctx.num_vertices + 1
+
+        run_clock_before = self.clock.snapshot()
+        run_stats_before = self.disk.stats.snapshot()
+        wall = WallTimer()
+        wall.start()
+
+        manager = self._checkpoint_manager(checkpoint_tag) if checkpoint_tag else None
+        resuming = resume and manager is not None and manager.exists
+        # On resume the value files already hold the checkpointed state;
+        # writing the freshly initialized arrays would clobber it.
+        self._init_value_stores(store_initial=not resuming)
+        self._setup_run()
+
+        if resuming:
+            meta = manager.load_meta(program.name)
+            self._iterations_done = meta.iterations_done
+            self._load_state()  # value files already hold the checkpointed state
+            self.frontier = manager.load_frontier(self.ctx.num_vertices)
+            self._restore_extra_arrays(manager)
+
+        converged = False
+        while True:
+            if self.frontier.is_empty() and not self._has_pending_work():
+                converged = True
+                break
+            if self._iterations_done >= self._iteration_cap:
+                break
+            self._load_state()
+            self.frontier = self._run_round()
+            if manager is not None:
+                manager.write(
+                    program.name,
+                    self._iterations_done,
+                    self.frontier,
+                    {name: vs.name for name, vs in self._value_stores.items()},
+                    self._checkpoint_extra_arrays(),
+                )
+
+        wall.stop()
+        values = self.program.result(self.state).copy()
+        result = RunResult(
+            engine=self.engine_name,
+            program=program.name,
+            num_vertices=self.ctx.num_vertices,
+            num_edges=self.ctx.num_edges,
+            iterations=self._iterations_done,
+            converged=converged,
+            values=values,
+            state={k: v.copy() for k, v in self.state.items()},
+            breakdown=self.clock.snapshot() - run_clock_before,
+            io=self.disk.stats - run_stats_before,
+            wall_seconds=wall.elapsed,
+            per_iteration=list(self._records),
+        )
+        if manager is not None and converged:
+            manager.discard()
+        if not keep_value_files:
+            if checkpoint_tag is None or converged:
+                self._cleanup_value_stores()
+            # otherwise the value files back the live checkpoint
+        return result

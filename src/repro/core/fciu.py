@@ -1,0 +1,201 @@
+"""Full Cross-Iteration Update — Algorithm 3 of the paper.
+
+Executed when the scheduler picks the full I/O model. One FCIU round
+covers **two** consecutive BSP iterations:
+
+Phase 1 (iteration ``t``)
+    Stream the whole grid destination-major (outer ``j``, inner ``i``).
+    Every block contributes to iteration ``t``'s accumulator from the
+    previous-iteration snapshot. Additionally, blocks ``(i, j)`` with
+    ``i < j`` contribute to iteration ``t+1``'s accumulator from the
+    *current* state — their source intervals were applied earlier in
+    this very sweep, so their iteration-``t`` values are final (the BSP
+    dependency the paper exploits). The diagonal block ``(j, j)`` is
+    held in memory until interval ``j`` is applied, then cross-pushed
+    the same way. *Secondary* blocks (``i > j``) cannot cross-push; they
+    are offered to the priority buffer for phase 2.
+
+Phase 2 (iteration ``t+1``)
+    Only the secondary (lower-triangle) blocks are re-read — from the
+    buffer when resident, else from disk — gated to the vertices
+    activated in phase 1; every interval is then applied using the
+    accumulated phase-1 cross contributions plus these reads.
+
+When cross-iteration update is disabled (ablation GraphSD-b1) or only
+one iteration remains in the budget, the round degrades to a single
+plain full-I/O iteration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.graph.grid import EdgeBlock
+from repro.utils.bitset import VertexSubset
+from repro.utils.timers import COMPUTE
+
+
+def _load_column_buffered(
+    engine, j: int, i_lo: int
+) -> List[Tuple[int, EdgeBlock, bool]]:
+    """Load blocks ``(i_lo.., j)``, serving from the buffer when possible.
+
+    Uncached blocks are fetched in contiguous runs (one sequential read
+    per run per column file). Returns ``(i, block, from_cache)`` triples
+    in ascending ``i``.
+    """
+    store = engine.store
+    P = store.P
+    cached = {}
+    if engine.buffer_enabled:
+        for i in range(i_lo, P):
+            if store.block_edge_count(i, j) == 0:
+                continue
+            block = engine.buffer.get((i, j))
+            if block is not None:
+                cached[i] = block
+
+    out: List[Tuple[int, EdgeBlock, bool]] = []
+    run_start = None
+    loaded = {}
+
+    def flush(run_end: int) -> None:
+        nonlocal run_start
+        if run_start is not None:
+            for blk in store.load_block_range(j, run_start, run_end):
+                loaded[blk.i] = blk
+            run_start = None
+
+    for i in range(i_lo, P):
+        if i in cached:
+            flush(i)
+        elif run_start is None:
+            run_start = i
+    flush(P)
+
+    for i in range(i_lo, P):
+        if i in cached:
+            out.append((i, cached[i], True))
+        elif i in loaded:
+            out.append((i, loaded[i], False))
+    return out
+
+
+def _count_active_edges(engine, block: EdgeBlock, mask: np.ndarray) -> int:
+    """Number of edges whose source is in ``mask`` (the buffer priority)."""
+    count = int(np.count_nonzero(mask[block.src]))
+    engine.clock.charge(COMPUTE, engine.machine.vertex_compute_time(block.count))
+    return count
+
+
+def run_fciu_round(engine) -> VertexSubset:
+    """Execute one FCIU round on a :class:`~repro.core.engine.GraphSDEngine`."""
+    program = engine.program
+    store = engine.store
+    P = store.P
+    n = engine.ctx.num_vertices
+    frontier = engine.frontier
+    do_cross = engine.config.enable_cross_iteration and engine.iterations_remaining >= 2
+
+    # ---- Phase 1: iteration t -------------------------------------------
+    token = engine.begin_iteration()
+    prev = program.copy_state(engine.state)
+    acc, touched = engine.take_carried_accumulator()
+    acc_next, touched_next = engine.acc_next, engine.touched_next
+    gate = None if program.all_active else frontier.mask
+
+    activated_mask = np.zeros(n, dtype=bool)
+    edges1 = 0
+    for j in range(P):
+        diag_block = None
+        for i, block, from_cache in _load_column_buffered(engine, j, 0):
+            contrib, edge_mask = engine.gather_block(prev, block, gate_mask=gate)
+            engine.combine_block(acc, touched, block, contrib, edge_mask)
+            edges1 += block.count
+            if do_cross and i < j:
+                # Sources in interval i are final for iteration t: push
+                # their t+1 contributions now (Algorithm 3, lines 7-11).
+                contrib2, mask2 = engine.gather_block(engine.state, block, gate_mask=activated_mask)
+                engine.combine_block(acc_next, touched_next, block, contrib2, mask2)
+            if i == j:
+                diag_block = block  # held in memory (Algorithm 3, line 13)
+            if (
+                i > j
+                and engine.buffer_enabled
+                and not from_cache
+                and block.nbytes <= engine.buffer.capacity_bytes
+            ):
+                priority = _count_active_edges(
+                    engine, block, frontier.mask if gate is not None else np.ones(n, bool)
+                )
+                engine.buffer.put((i, j), block, priority)
+
+        engine.apply_interval(j, acc, touched, activated_mask)
+
+        if do_cross and diag_block is not None and diag_block.count:
+            # Interval j just finished updating; its diagonal block can
+            # now cross-push (Algorithm 3, lines 13-16).
+            contrib, edge_mask = engine.gather_block(engine.state, diag_block, gate_mask=activated_mask)
+            engine.combine_block(acc_next, touched_next, diag_block, contrib, edge_mask)
+
+        if engine.buffer_enabled:
+            # Interval j's activations are now known; re-rank the cached
+            # secondary blocks whose sources live in interval j (§4.3:
+            # "the priority ... automatically updated after the
+            # processing of this secondary sub-block").
+            for jj in range(j):
+                resident = engine.buffer._blocks.get((j, jj))
+                if resident is not None:
+                    engine.buffer.update_priority(
+                        (j, jj), _count_active_edges(engine, resident, activated_mask)
+                    )
+
+    engine._store_state()
+    activated1 = int(np.count_nonzero(activated_mask))
+    if do_cross:
+        upper_diag_bytes = sum(
+            store.block_nbytes(i, j) for j in range(P) for i in range(j + 1)
+        )
+        engine.charge_future_value_overhead(upper_diag_bytes)
+    engine.end_iteration(
+        token,
+        "fciu" if do_cross else "full",
+        frontier.count,
+        edges1,
+        activated1,
+        cross_pushed=activated1 if do_cross else 0,
+    )
+
+    if not do_cross:
+        return VertexSubset(n, activated_mask)
+    if activated1 == 0 and not touched_next.any():
+        # Nothing was activated and nothing was pre-pushed: iteration
+        # t+1 would be a no-op, so the round ends converged.
+        return VertexSubset(n, activated_mask)
+
+    # ---- Phase 2: iteration t+1 (secondary sub-blocks only) ---------------
+    token = engine.begin_iteration()
+    prev2 = program.copy_state(engine.state)
+    gate2 = None if program.all_active else activated_mask
+    acc2, touched2 = engine.take_carried_accumulator()
+
+    new_activated = np.zeros(n, dtype=bool)
+    edges2 = 0
+    for j in range(P):
+        for i, block, _from_cache in _load_column_buffered(engine, j, j + 1):
+            contrib, edge_mask = engine.gather_block(prev2, block, gate_mask=gate2)
+            engine.combine_block(acc2, touched2, block, contrib, edge_mask)
+            edges2 += block.count
+        engine.apply_interval(j, acc2, touched2, new_activated)
+
+    engine._store_state()
+    engine.end_iteration(
+        token,
+        "fciu2",
+        activated1,
+        edges2,
+        int(np.count_nonzero(new_activated)),
+    )
+    return VertexSubset(n, new_activated)

@@ -1,0 +1,93 @@
+"""Run records: what every engine execution reports.
+
+Every engine (GraphSD, its ablation variants, and all baselines) returns
+a :class:`RunResult` with identical structure, so the benchmark harness
+can tabulate execution time (simulated), I/O traffic, per-iteration
+traces and breakdowns without knowing which engine produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.storage.iostats import IOStats
+from repro.utils.timers import TimeBreakdown
+
+
+@dataclass
+class IterationRecord:
+    """Metrics of one executed iteration."""
+
+    iteration: int
+    model: str  # "sciu", "fciu", "full", "on_demand", engine-specific labels
+    frontier_size: int
+    edges_processed: int
+    breakdown: TimeBreakdown
+    io: IOStats
+    activated: int = 0
+    cross_pushed: int = 0
+
+    @property
+    def sim_seconds(self) -> float:
+        return self.breakdown.total
+
+    @property
+    def io_bytes(self) -> int:
+        return self.io.total_traffic
+
+
+@dataclass
+class RunResult:
+    """Outcome of one algorithm execution on one engine."""
+
+    engine: str
+    program: str
+    num_vertices: int
+    num_edges: int
+    iterations: int
+    converged: bool
+    values: np.ndarray
+    state: Dict[str, np.ndarray]
+    breakdown: TimeBreakdown
+    io: IOStats
+    wall_seconds: float
+    per_iteration: List[IterationRecord] = field(default_factory=list)
+
+    @property
+    def sim_seconds(self) -> float:
+        """Total modeled execution time (the headline Table 4 metric)."""
+        return self.breakdown.total
+
+    @property
+    def io_seconds(self) -> float:
+        return self.breakdown.io
+
+    @property
+    def compute_seconds(self) -> float:
+        return self.breakdown.compute
+
+    @property
+    def io_traffic(self) -> int:
+        """Total bytes moved (the Fig. 7 metric)."""
+        return self.io.total_traffic
+
+    @property
+    def frontier_history(self) -> List[int]:
+        return [r.frontier_size for r in self.per_iteration]
+
+    @property
+    def model_history(self) -> List[str]:
+        return [r.model for r in self.per_iteration]
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.engine}/{self.program}: {self.iterations} iters, "
+            f"sim {self.sim_seconds:.3f}s (io {self.io_seconds:.3f}s, "
+            f"compute {self.compute_seconds:.3f}s), "
+            f"traffic {self.io_traffic / (1 << 20):.1f} MiB, "
+            f"{'converged' if self.converged else 'iteration cap reached'}"
+        )

@@ -1,0 +1,124 @@
+"""Selective Cross-Iteration Update — Algorithm 2 of the paper.
+
+Executed when the state-aware scheduler picks the on-demand I/O model.
+One SCIU round is one BSP iteration:
+
+1. For each source interval ``i`` with active vertices, and each
+   destination interval ``j``, locate the active vertices' edges through
+   ``index(i, j)`` and gather-load exactly those adjacency records
+   (merged into sequential runs where contiguous). Contributions are
+   combined into the current iteration's accumulator.
+2. Apply every interval: fold accumulated contributions (including any
+   carried cross-iteration contributions pushed during the previous
+   round) into the state, producing the activation set ``Out``.
+3. *Cross-iteration step* (lines 15–23): vertices that were active this
+   iteration **and** were re-activated by step 2 already have their
+   edges in memory, so their next-iteration contributions are pushed
+   immediately into the next accumulator and they are removed from
+   ``Out`` — their edges will not be re-read next iteration.
+
+The push for iteration ``t+1`` reads the *post-apply* state (the
+vertex's latest value), exactly as the paper's ``CrossIterUpdate``;
+because contributions rest in the carried accumulator until the next
+apply, the state trajectory stays per-iteration identical to strict BSP
+(tested against the in-memory oracle).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.scheduler import INDEX_GATHER, INDEX_SPAN
+from repro.graph.grid import EdgeBlock
+from repro.utils.bitset import VertexSubset
+
+
+def run_sciu_round(engine) -> VertexSubset:
+    """Execute one SCIU iteration on a :class:`~repro.core.engine.GraphSDEngine`."""
+    program = engine.program
+    store = engine.store
+    intervals = store.intervals
+    n = engine.ctx.num_vertices
+    frontier = engine.frontier
+
+    token = engine.begin_iteration()
+    prev = program.copy_state(engine.state)
+    acc, touched = engine.take_carried_accumulator()
+
+    index_plan = engine.scheduler.plan_index_access(frontier)
+    active_per_row = index_plan.active_per_row
+
+    retained: List[EdgeBlock] = []
+    edges_processed = 0
+    for i in range(store.P):
+        if active_per_row[i] == 0:
+            continue
+        lo, hi = intervals.bounds(i)
+        ids = frontier.interval_indices(lo, hi)
+        local = ids - lo
+        for j in range(store.P):
+            if store.block_edge_count(i, j) == 0:
+                continue
+            buffered = engine.selective_from_buffer(i, j, ids)
+            if buffered is not None:
+                if buffered.count:
+                    contrib, edge_mask = engine.gather_block(prev, buffered)
+                    engine.combine_block(acc, touched, buffered, contrib, edge_mask)
+                    retained.append(buffered)
+                    edges_processed += buffered.count
+                continue
+            mode = int(index_plan.mode[i])
+            if mode == INDEX_GATHER:
+                pairs = store.read_index_entries(i, j, local)
+            elif mode == INDEX_SPAN:
+                lo_l = int(index_plan.lo_local[i])
+                hi_l = int(index_plan.hi_local[i])
+                offsets = store.read_index_span(i, j, lo_l, hi_l + 1)
+                rel = local - lo_l
+                pairs = np.stack([offsets[rel], offsets[rel + 1]], axis=1)
+            else:
+                offsets = store.read_block_index(i, j)
+                pairs = np.stack([offsets[local], offsets[local + 1]], axis=1)
+            block = engine.load_selective(i, j, ids, pairs)
+            if block.count == 0:
+                continue
+            contrib, edge_mask = engine.gather_block(prev, block)
+            engine.combine_block(acc, touched, block, contrib, edge_mask)
+            retained.append(block)
+            edges_processed += block.count
+
+    activated_mask = np.zeros(n, dtype=bool)
+    n_activated = 0
+    for j in range(store.P):
+        n_activated += engine.apply_interval(j, acc, touched, activated_mask)
+    engine._store_state()
+
+    cross_pushed = 0
+    if engine.config.enable_cross_iteration:
+        candidates = activated_mask & frontier.mask
+        cross_pushed = int(np.count_nonzero(candidates))
+        if cross_pushed:
+            acc_next, touched_next = engine.acc_next, engine.touched_next
+            for block in retained:
+                keep = candidates[block.src]
+                if not keep.any():
+                    continue
+                sub = EdgeBlock(
+                    block.i,
+                    block.j,
+                    block.src[keep],
+                    block.dst[keep],
+                    None if block.wgt is None else block.wgt[keep],
+                )
+                contrib, edge_mask = engine.gather_block(engine.state, sub)
+                engine.combine_block(acc_next, touched_next, sub, contrib, edge_mask)
+            # Cross-pushed vertices leave Out: their edges need not be
+            # loaded next iteration (Algorithm 2, line 17).
+            activated_mask &= ~candidates
+
+    engine.end_iteration(
+        token, "sciu", frontier.count, edges_processed, n_activated, cross_pushed
+    )
+    return VertexSubset(n, activated_mask)

@@ -1,0 +1,43 @@
+"""Synthetic graph generation and the Table 3 dataset proxies."""
+
+from repro.datasets.rmat import RMATParams, SOCIAL, WEB, kronecker_edges, rmat_edges
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    dataset_spec,
+    list_datasets,
+    load_dataset,
+    table3_rows,
+)
+from repro.datasets.synthetic import (
+    binary_tree,
+    chain,
+    disjoint_cliques,
+    erdos_renyi,
+    grid_2d,
+    ring,
+    star,
+    with_uniform_weights,
+)
+
+__all__ = [
+    "RMATParams",
+    "SOCIAL",
+    "WEB",
+    "kronecker_edges",
+    "rmat_edges",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_spec",
+    "list_datasets",
+    "load_dataset",
+    "table3_rows",
+    "binary_tree",
+    "chain",
+    "disjoint_cliques",
+    "erdos_renyi",
+    "grid_2d",
+    "ring",
+    "star",
+    "with_uniform_weights",
+]

@@ -1,0 +1,115 @@
+"""Structured synthetic graphs for tests, examples and micro-benchmarks.
+
+Unlike the R-MAT proxies (which stand in for the paper's datasets),
+these generators produce graphs with *known* analytic properties —
+exact component structure, exact BFS levels, exact shortest paths — so
+tests can assert engine outputs against closed-form answers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList, WEIGHT_DTYPE
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import check_positive, require
+
+
+def erdos_renyi(num_vertices: int, num_edges: int, seed: SeedLike = None) -> EdgeList:
+    """Uniform random directed multigraph with exactly ``num_edges`` edges."""
+    require(num_vertices >= 1, "need at least one vertex")
+    rng = make_rng(seed)
+    src = rng.integers(0, num_vertices, num_edges)
+    dst = rng.integers(0, num_vertices, num_edges)
+    return EdgeList(num_vertices, src, dst)
+
+
+def chain(num_vertices: int, bidirectional: bool = False) -> EdgeList:
+    """Path graph ``0 -> 1 -> ... -> n-1`` (diameter ``n - 1``).
+
+    The worst case for frontier-based engines: the frontier is a single
+    vertex for the whole run, so the on-demand model should win every
+    iteration.
+    """
+    require(num_vertices >= 1, "need at least one vertex")
+    src = np.arange(num_vertices - 1)
+    dst = src + 1
+    edges = EdgeList(num_vertices, src, dst)
+    return edges.symmetrized(deduplicate=False) if bidirectional else edges
+
+
+def ring(num_vertices: int) -> EdgeList:
+    """Directed cycle over ``num_vertices`` ids."""
+    require(num_vertices >= 1, "need at least one vertex")
+    src = np.arange(num_vertices)
+    dst = (src + 1) % num_vertices
+    return EdgeList(num_vertices, src, dst)
+
+
+def star(num_vertices: int, center: int = 0, outward: bool = True) -> EdgeList:
+    """Star graph: center connected to every other vertex."""
+    require(num_vertices >= 1, "need at least one vertex")
+    require(0 <= center < num_vertices, "center out of range")
+    leaves = np.array([v for v in range(num_vertices) if v != center], dtype=np.int64)
+    centers = np.full(leaves.shape, center, dtype=np.int64)
+    if outward:
+        return EdgeList(num_vertices, centers, leaves)
+    return EdgeList(num_vertices, leaves, centers)
+
+
+def grid_2d(rows: int, cols: int, bidirectional: bool = True) -> EdgeList:
+    """``rows x cols`` lattice; vertex ``(r, c)`` has id ``r * cols + c``.
+
+    Manhattan geometry makes BFS levels and unit-weight shortest paths
+    analytically checkable (``level((r, c)) = r + c`` from the origin).
+    """
+    check_positive(rows, "rows")
+    check_positive(cols, "cols")
+    ids = np.arange(rows * cols).reshape(rows, cols)
+    right = np.stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()], axis=1)
+    down = np.stack([ids[:-1, :].ravel(), ids[1:, :].ravel()], axis=1)
+    pairs = np.concatenate([right, down])
+    edges = EdgeList(rows * cols, pairs[:, 0], pairs[:, 1])
+    return edges.symmetrized(deduplicate=False) if bidirectional else edges
+
+
+def binary_tree(depth: int) -> EdgeList:
+    """Complete binary tree of the given depth, edges parent -> child."""
+    require(depth >= 0, "depth must be >= 0")
+    n = (1 << (depth + 1)) - 1
+    if n == 1:
+        return EdgeList(1, np.empty(0, np.int64), np.empty(0, np.int64))
+    children = np.arange(1, n)
+    parents = (children - 1) // 2
+    return EdgeList(n, parents, children)
+
+
+def disjoint_cliques(num_cliques: int, clique_size: int) -> EdgeList:
+    """``num_cliques`` complete directed cliques (exact CC ground truth)."""
+    check_positive(num_cliques, "num_cliques")
+    require(clique_size >= 1, "clique_size must be >= 1")
+    n = num_cliques * clique_size
+    local = np.arange(clique_size)
+    s, d = np.meshgrid(local, local, indexing="ij")
+    keep = s != d
+    s, d = s[keep], d[keep]
+    srcs, dsts = [], []
+    for c in range(num_cliques):
+        base = c * clique_size
+        srcs.append(s + base)
+        dsts.append(d + base)
+    if clique_size == 1:
+        return EdgeList(n, np.empty(0, np.int64), np.empty(0, np.int64))
+    return EdgeList(n, np.concatenate(srcs), np.concatenate(dsts))
+
+
+def with_uniform_weights(
+    edges: EdgeList, low: float = 0.05, high: float = 1.0, seed: SeedLike = None
+) -> EdgeList:
+    """Attach i.i.d. uniform weights in ``[low, high)`` (non-negative for SSSP)."""
+    require(0 <= low <= high, "need 0 <= low <= high")
+    rng = make_rng(seed)
+    weights = rng.uniform(low, high, edges.num_edges).astype(WEIGHT_DTYPE)
+    return edges.with_weights(weights)

@@ -1,0 +1,25 @@
+"""Vertex degree computation.
+
+Degrees drive three parts of the system: PageRank's contribution
+normalization, the scheduler's ``S_seq``/``S_ran`` estimation (an active
+vertex's I/O size is its out-degree times the edge record size), and
+edge-balanced interval construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+DEGREE_DTYPE = np.dtype(np.int64)
+
+
+def out_degrees(edges: EdgeList) -> np.ndarray:
+    """Out-degree of every vertex (length ``num_vertices``, int64)."""
+    return np.bincount(edges.src, minlength=edges.num_vertices).astype(DEGREE_DTYPE)
+
+
+def in_degrees(edges: EdgeList) -> np.ndarray:
+    """In-degree of every vertex (length ``num_vertices``, int64)."""
+    return np.bincount(edges.dst, minlength=edges.num_vertices).astype(DEGREE_DTYPE)

@@ -1,0 +1,438 @@
+"""On-disk 2-D grid representation with per-vertex sub-block indexes (§3.2).
+
+Layout
+------
+Edges are sorted by ``(destination interval, source interval, src, dst)``
+— i.e. sub-blocks are stored *destination-major*, which makes the FCIU
+model's streaming order (outer loop over destination intervals ``j``,
+inner over source intervals ``i``; Algorithm 3) a single sequential scan,
+and any run of blocks within a column one contiguous extent. Within each
+sub-block edges are sorted by source, giving the CSR-style offset index
+``index(i, j)`` that the on-demand I/O model uses to locate one vertex's
+edges.
+
+Files (all through :class:`~repro.storage.blockfile.ArrayFile`):
+
+``{prefix}.edges``
+    packed edge records in grid order: ``(src: uint32, dst: uint32)``
+    or ``(src, dst, wgt: float32)`` — ``M + W`` bytes per record,
+    matching the paper's Table 2 cost-model notation. Both the full I/O
+    model (block/column slices) and the on-demand model (index-directed
+    gathers) read from this one file, so both pay the same per-edge
+    byte cost — as the paper's ``C_s``/``C_r`` formulas assume.
+``{prefix}.idx``
+    per-block CSR offsets, ``int64``, concatenated in storage order;
+    block ``(i, j)``'s slice has ``interval_size(i) + 1`` entries of
+    block-relative offsets. Absent when the store is built unindexed
+    (the Lumos baseline's representation).
+
+Metadata (interval boundaries, per-block edge counts and file offsets)
+is stored as JSON next to the data files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList, VERTEX_DTYPE
+from repro.graph.partition import VertexIntervals
+from repro.storage.blockfile import ArrayFile, Device
+from repro.utils.validation import require
+
+INDEX_DTYPE = np.dtype(np.int64)
+EDGE_UNWEIGHTED_DTYPE = np.dtype([("src", np.uint32), ("dst", np.uint32)])
+EDGE_WEIGHTED_DTYPE = np.dtype([("src", np.uint32), ("dst", np.uint32), ("wgt", np.float32)])
+
+
+@dataclass
+class EdgeBlock:
+    """An in-memory sub-block: the edges of grid cell ``(i, j)``."""
+
+    i: int
+    j: int
+    src: np.ndarray
+    dst: np.ndarray
+    wgt: Optional[np.ndarray] = None
+
+    @property
+    def count(self) -> int:
+        return int(self.src.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        n = self.src.nbytes + self.dst.nbytes
+        if self.wgt is not None:
+            n += self.wgt.nbytes
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EdgeBlock(({self.i},{self.j}), edges={self.count})"
+
+
+class GridStore:
+    """Reader/writer for the on-disk grid representation."""
+
+    def __init__(
+        self,
+        device: Device,
+        prefix: str,
+        intervals: VertexIntervals,
+        block_counts: np.ndarray,
+        has_weights: bool,
+        indexed: bool,
+    ) -> None:
+        self.device = device
+        self.prefix = prefix
+        self.intervals = intervals
+        self.block_counts = np.ascontiguousarray(block_counts, dtype=np.int64)
+        P = intervals.P
+        require(self.block_counts.shape == (P, P), "block_counts must be P x P")
+        self.has_weights = has_weights
+        self.indexed = indexed
+
+        # Storage-order (dst-major) item offsets: block (i, j) starts at
+        # _block_start[i, j] items into the edges file.
+        order_counts = self.block_counts.T.reshape(-1)  # (j, i) raveled
+        starts = np.concatenate(([0], np.cumsum(order_counts)[:-1]))
+        self._block_start = starts.reshape(P, P).T.copy()  # back to [i, j]
+
+        if indexed:
+            sizes = intervals.sizes()
+            idx_lens = np.empty(P * P, dtype=np.int64)
+            for j in range(P):
+                for i in range(P):
+                    idx_lens[j * P + i] = sizes[i] + 1
+            idx_starts = np.concatenate(([0], np.cumsum(idx_lens)[:-1]))
+            self._index_start = idx_starts.reshape(P, P).T.copy()  # [i, j]
+        else:
+            self._index_start = None
+
+        edge_dtype = EDGE_WEIGHTED_DTYPE if has_weights else EDGE_UNWEIGHTED_DTYPE
+        self._edges_file = device.array_file(f"{prefix}.edges", edge_dtype)
+        self._idx_file = device.array_file(f"{prefix}.idx", INDEX_DTYPE) if indexed else None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        edges: EdgeList,
+        intervals: VertexIntervals,
+        device: Device,
+        prefix: str = "graph",
+        indexed: bool = True,
+        sort_within_blocks: bool = True,
+    ) -> "GridStore":
+        """Partition ``edges`` into the grid and write the data files.
+
+        ``sort_within_blocks=False`` reproduces Lumos-style preprocessing:
+        edges are grouped into sub-blocks but left unsorted inside, which
+        is cheaper to build but cannot support a per-vertex index
+        (``indexed`` is forced off).
+        """
+        require(
+            intervals.num_vertices == edges.num_vertices,
+            "intervals do not cover the edge list's vertex universe",
+        )
+        if not sort_within_blocks:
+            indexed = False
+        P = intervals.P
+        i_of = intervals.interval_of(edges.src).astype(np.int64)
+        j_of = intervals.interval_of(edges.dst).astype(np.int64)
+        key = j_of * P + i_of  # dst-major storage order
+
+        if sort_within_blocks:
+            perm = np.lexsort((edges.dst, edges.src, key))
+        else:
+            perm = np.argsort(key, kind="stable")
+        src = edges.src[perm]
+        dst = edges.dst[perm]
+
+        counts_by_key = np.bincount(key, minlength=P * P).astype(np.int64)
+        block_counts = counts_by_key.reshape(P, P).T.copy()  # [i, j]
+
+        store = cls(device, prefix, intervals, block_counts, edges.has_weights, indexed)
+        records = np.empty(src.shape[0], dtype=store._edges_file.dtype)
+        records["src"] = src
+        records["dst"] = dst
+        if edges.has_weights:
+            records["wgt"] = edges.weights[perm]
+        store._edges_file.write(records)
+
+        if indexed:
+            idx_parts = []
+            pos = 0
+            for j in range(P):
+                for i in range(P):
+                    cnt = int(block_counts[i, j])
+                    lo, hi = intervals.bounds(i)
+                    block_src = src[pos : pos + cnt]
+                    offsets = np.searchsorted(block_src, np.arange(lo, hi + 1)).astype(
+                        INDEX_DTYPE
+                    )
+                    idx_parts.append(offsets)
+                    pos += cnt
+            store._idx_file.write(
+                np.concatenate(idx_parts) if idx_parts else np.empty(0, dtype=INDEX_DTYPE)
+            )
+
+        store._write_meta()
+        return store
+
+    def _write_meta(self) -> None:
+        meta = {
+            "prefix": self.prefix,
+            "boundaries": self.intervals.boundaries.tolist(),
+            "block_counts": self.block_counts.tolist(),
+            "has_weights": self.has_weights,
+            "indexed": self.indexed,
+        }
+        with open(self.device.root / f"{self.prefix}.meta.json", "w") as f:
+            json.dump(meta, f)
+
+    @classmethod
+    def open(cls, device: Device, prefix: str = "graph") -> "GridStore":
+        """Open an existing grid representation on ``device``."""
+        with open(device.root / f"{prefix}.meta.json") as f:
+            meta = json.load(f)
+        intervals = VertexIntervals(np.asarray(meta["boundaries"], dtype=np.int64))
+        return cls(
+            device,
+            prefix,
+            intervals,
+            np.asarray(meta["block_counts"], dtype=np.int64),
+            bool(meta["has_weights"]),
+            bool(meta["indexed"]),
+        )
+
+    # -- shape/metadata accessors -------------------------------------
+
+    @property
+    def P(self) -> int:
+        return self.intervals.P
+
+    @property
+    def num_vertices(self) -> int:
+        return self.intervals.num_vertices
+
+    @property
+    def total_edges(self) -> int:
+        return int(self.block_counts.sum())
+
+    @property
+    def edge_record_bytes(self) -> int:
+        """Bytes per edge record — ``M + W`` in the paper's notation."""
+        return int(self._edges_file.dtype.itemsize)
+
+    @property
+    def total_edge_bytes(self) -> int:
+        """``|E| * (M + W)``: the full I/O model's per-iteration edge read."""
+        return self.total_edges * self.edge_record_bytes
+
+    def block_edge_count(self, i: int, j: int) -> int:
+        return int(self.block_counts[i, j])
+
+    def block_nbytes(self, i: int, j: int) -> int:
+        """Full-load size of sub-block ``(i, j)`` in bytes."""
+        return self.block_edge_count(i, j) * self.edge_record_bytes
+
+    def iter_blocks_dst_major(self) -> Iterator[Tuple[int, int]]:
+        """All ``(i, j)`` pairs in on-disk (destination-major) order."""
+        for j in range(self.P):
+            for i in range(self.P):
+                yield (i, j)
+
+    # -- full-block loads (the full I/O model) ---------------------------
+
+    def _records_to_block(self, i: int, j: int, records: np.ndarray) -> EdgeBlock:
+        wgt = records["wgt"].copy() if self.has_weights else None
+        return EdgeBlock(i, j, records["src"].copy(), records["dst"].copy(), wgt)
+
+    def load_block(self, i: int, j: int) -> EdgeBlock:
+        """Sequentially read all edges of sub-block ``(i, j)``."""
+        start = int(self._block_start[i, j])
+        count = self.block_edge_count(i, j)
+        records = self._edges_file.read_slice(start, count, sequential=True)
+        return self._records_to_block(i, j, records)
+
+    def load_block_range(self, j: int, i_lo: int, i_hi: int) -> List[EdgeBlock]:
+        """Read blocks ``(i_lo..i_hi-1, j)`` of one column as a single scan.
+
+        Within a column the sub-blocks are stored contiguously in source-
+        interval order, so a run of blocks is one sequential extent —
+        this keeps full sweeps request-cheap (one read per column rather
+        than per block).
+        """
+        require(0 <= i_lo <= i_hi <= self.P, "bad block range")
+        if i_lo == i_hi:
+            return []
+        start = int(self._block_start[i_lo, j])
+        counts = [self.block_edge_count(i, j) for i in range(i_lo, i_hi)]
+        records = self._edges_file.read_slice(start, int(sum(counts)), sequential=True)
+        blocks = []
+        pos = 0
+        for offset, cnt in enumerate(counts):
+            blocks.append(self._records_to_block(i_lo + offset, j, records[pos : pos + cnt]))
+            pos += cnt
+        return blocks
+
+    def load_column(self, j: int) -> List[EdgeBlock]:
+        """Read every sub-block of destination interval ``j`` in one scan."""
+        return self.load_block_range(j, 0, self.P)
+
+    # -- selective loads (the on-demand I/O model) ------------------------
+
+    def read_block_index(self, i: int, j: int) -> np.ndarray:
+        """Sequentially read the full offset index of sub-block ``(i, j)``."""
+        self._require_indexed()
+        start = int(self._index_start[i, j])
+        return self._idx_file.read_slice(start, self.intervals.size(i) + 1, sequential=True)
+
+    def read_index_span(self, i: int, j: int, lo_local: int, hi_local: int) -> np.ndarray:
+        """Sequentially read index entries ``[lo_local, hi_local]`` (inclusive
+        of the trailing offset) of sub-block ``(i, j)``.
+
+        The cheap middle ground between a full row scan and per-vertex
+        gathers: when the active vertices of interval ``i`` cluster in a
+        narrow id range (e.g. a frontier wave), one contiguous slice
+        covers all their offsets.
+        """
+        self._require_indexed()
+        size = self.intervals.size(i)
+        require(0 <= lo_local <= hi_local <= size, "bad index span")
+        start = int(self._index_start[i, j]) + lo_local
+        return self._idx_file.read_slice(start, hi_local - lo_local + 1, sequential=True)
+
+    def read_index_entries(self, i: int, j: int, local_ids: np.ndarray) -> np.ndarray:
+        """Randomly gather ``(offset, next_offset)`` pairs for ``local_ids``.
+
+        Cheaper than :meth:`read_block_index` when few vertices of
+        interval ``i`` are active. Returns an ``(n, 2)`` array.
+        """
+        self._require_indexed()
+        local_ids = np.asarray(local_ids, dtype=np.int64)
+        if local_ids.size == 0:
+            return np.empty((0, 2), dtype=INDEX_DTYPE)
+        start = int(self._index_start[i, j])
+        pairs = self._idx_file.read_gather(
+            start + local_ids, np.full(local_ids.shape, 2, dtype=np.int64)
+        )
+        return pairs.reshape(-1, 2)
+
+    def load_active_edges(
+        self,
+        i: int,
+        j: int,
+        active_global_ids: np.ndarray,
+        offsets_pairs: np.ndarray,
+        seq_threshold_bytes: Optional[int] = None,
+    ) -> EdgeBlock:
+        """Gather the edges of the given active sources inside block ``(i, j)``.
+
+        ``offsets_pairs`` is the ``(n, 2)`` block-relative offset pairs for
+        the active vertices (from :meth:`read_block_index` slicing or
+        :meth:`read_index_entries`), in ascending vertex-id order.
+        Adjacent per-vertex extents (consecutive active ids) are merged
+        into single disk runs; merged runs of at least
+        ``seq_threshold_bytes`` are charged at sequential bandwidth —
+        the concrete realization of the paper's ``S_seq``/``S_ran``
+        split. Per-edge read volume is ``M + W`` bytes, exactly the
+        cost-model's on-demand term.
+        """
+        from repro.utils.runs import merge_runs
+
+        active_global_ids = np.asarray(active_global_ids, dtype=np.int64)
+        require(
+            offsets_pairs.shape == (active_global_ids.shape[0], 2),
+            "offsets_pairs shape mismatch",
+        )
+        base = int(self._block_start[i, j])
+        starts = base + offsets_pairs[:, 0]
+        counts = offsets_pairs[:, 1] - offsets_pairs[:, 0]
+        require(bool(np.all(counts >= 0)), "corrupt index: negative edge counts")
+        m_starts, m_counts, _ = merge_runs(starts, counts)
+        if seq_threshold_bytes is not None:
+            seq_mask = m_counts * self.edge_record_bytes >= int(seq_threshold_bytes)
+        else:
+            seq_mask = None
+        records = self._edges_file.read_gather(m_starts, m_counts, seq_run_mask=seq_mask)
+        return self._records_to_block(i, j, records)
+
+    def validate(self) -> None:
+        """Full integrity check of the on-disk representation.
+
+        Verifies, for every sub-block: edge endpoints fall in the
+        block's (source, destination) intervals, edges are source-sorted
+        (when sorted), metadata counts match the data, and — when
+        indexed — the CSR offsets reproduce each vertex's edge range
+        exactly. Raises :class:`ValueError` on the first inconsistency.
+        Intended for post-preprocessing sanity checks and fsck-style
+        debugging of copied representations.
+        """
+        total = 0
+        for (i, j) in self.iter_blocks_dst_major():
+            block = self.load_block(i, j)
+            require(
+                block.count == self.block_edge_count(i, j),
+                f"block ({i},{j}): data has {block.count} edges, "
+                f"metadata says {self.block_edge_count(i, j)}",
+            )
+            total += block.count
+            if block.count == 0:
+                continue
+            lo_i, hi_i = self.intervals.bounds(i)
+            lo_j, hi_j = self.intervals.bounds(j)
+            require(
+                int(block.src.min()) >= lo_i and int(block.src.max()) < hi_i,
+                f"block ({i},{j}): source id outside interval {i}",
+            )
+            require(
+                int(block.dst.min()) >= lo_j and int(block.dst.max()) < hi_j,
+                f"block ({i},{j}): destination id outside interval {j}",
+            )
+            if self.indexed:
+                require(
+                    bool(np.all(np.diff(block.src.astype(np.int64)) >= 0)),
+                    f"block ({i},{j}): edges not sorted by source",
+                )
+                offsets = self.read_block_index(i, j)
+                require(
+                    offsets[0] == 0 and offsets[-1] == block.count,
+                    f"block ({i},{j}): index range does not cover the block",
+                )
+                require(
+                    bool(np.all(np.diff(offsets) >= 0)),
+                    f"block ({i},{j}): index offsets not monotone",
+                )
+                counts = np.bincount(
+                    block.src.astype(np.int64) - lo_i, minlength=hi_i - lo_i
+                )
+                require(
+                    bool(np.array_equal(np.diff(offsets), counts)),
+                    f"block ({i},{j}): index disagrees with per-vertex edge counts",
+                )
+        require(
+            total == self.total_edges,
+            f"block counts sum to {total}, metadata says {self.total_edges}",
+        )
+
+    def read_all_sources(self) -> np.ndarray:
+        """One full scan returning every edge's source id (context building)."""
+        return self._edges_file.read_all()["src"]
+
+    def _require_indexed(self) -> None:
+        if not self.indexed:
+            raise RuntimeError(
+                f"grid store {self.prefix!r} was built without a per-vertex "
+                "index; selective access is unavailable"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GridStore(prefix={self.prefix!r}, P={self.P}, |V|={self.num_vertices}, "
+            f"|E|={self.total_edges}, weighted={self.has_weights}, indexed={self.indexed})"
+        )

@@ -1,0 +1,148 @@
+"""Interchange formats for edge lists.
+
+Out-of-core systems consume graphs from a handful of de-facto formats;
+this module covers the two most common beyond plain text:
+
+* **raw binary pairs** — the GridGraph/X-Stream input convention: a flat
+  file of ``(src, dst)`` integer pairs (optionally followed by a float
+  weight per edge), no header;
+* **Matrix Market coordinate format** (``.mtx``) — the SuiteSparse
+  collection's format: 1-based indices, optional symmetry, ``pattern``
+  (unweighted) or ``real`` (weighted) fields.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList, WEIGHT_DTYPE
+from repro.utils.validation import require
+
+PathLike = Union[str, os.PathLike]
+
+
+# -- raw binary pairs --------------------------------------------------------
+
+
+def save_binary_pairs(
+    edges: EdgeList, path: PathLike, id_dtype: np.dtype = np.uint32
+) -> None:
+    """Write ``(src, dst[, weight])`` records as a headerless binary file."""
+    id_dtype = np.dtype(id_dtype)
+    if edges.has_weights:
+        rec = np.dtype([("src", id_dtype), ("dst", id_dtype), ("wgt", np.float32)])
+    else:
+        rec = np.dtype([("src", id_dtype), ("dst", id_dtype)])
+    out = np.empty(edges.num_edges, dtype=rec)
+    out["src"] = edges.src
+    out["dst"] = edges.dst
+    if edges.has_weights:
+        out["wgt"] = edges.weights
+    out.tofile(path)
+
+
+def load_binary_pairs(
+    path: PathLike,
+    num_vertices: Optional[int] = None,
+    id_dtype: np.dtype = np.uint32,
+    weighted: bool = False,
+) -> EdgeList:
+    """Read a headerless binary pair file (GridGraph input convention).
+
+    The caller states whether a float32 weight follows each pair
+    (headerless files cannot self-describe). File size must be an exact
+    multiple of the record size.
+    """
+    id_dtype = np.dtype(id_dtype)
+    if weighted:
+        rec = np.dtype([("src", id_dtype), ("dst", id_dtype), ("wgt", np.float32)])
+    else:
+        rec = np.dtype([("src", id_dtype), ("dst", id_dtype)])
+    size = Path(path).stat().st_size
+    require(
+        size % rec.itemsize == 0,
+        f"{path} size {size} is not a multiple of the record size {rec.itemsize} "
+        "(wrong dtype or weighted flag?)",
+    )
+    data = np.fromfile(path, dtype=rec)
+    src = data["src"].astype(np.int64)
+    dst = data["dst"].astype(np.int64)
+    if num_vertices is None:
+        num_vertices = int(max(src.max(initial=-1), dst.max(initial=-1))) + 1 if len(data) else 0
+    weights = data["wgt"].astype(WEIGHT_DTYPE) if weighted else None
+    return EdgeList(num_vertices, src, dst, weights)
+
+
+# -- Matrix Market -----------------------------------------------------------
+
+
+def load_matrix_market(path: PathLike) -> EdgeList:
+    """Parse a Matrix Market coordinate file into an :class:`EdgeList`.
+
+    Supports ``pattern`` (unweighted) and ``real``/``integer`` (weighted)
+    fields and the ``general``/``symmetric`` symmetry modes; symmetric
+    inputs are expanded to both directions (off-diagonal entries).
+    """
+    with open(path) as f:
+        header = f.readline().strip().split()
+        require(
+            len(header) >= 5 and header[0] == "%%MatrixMarket" and header[1] == "matrix",
+            f"{path}: not a MatrixMarket matrix file",
+        )
+        fmt, field, symmetry = header[2], header[3], header[4]
+        require(fmt == "coordinate", f"{path}: only coordinate format is supported")
+        require(
+            field in ("pattern", "real", "integer"),
+            f"{path}: unsupported field type {field!r}",
+        )
+        require(
+            symmetry in ("general", "symmetric"),
+            f"{path}: unsupported symmetry {symmetry!r}",
+        )
+
+        line = f.readline()
+        while line.strip().startswith("%") or not line.strip():
+            line = f.readline()
+        rows, cols, nnz = (int(tok) for tok in line.split())
+        require(rows == cols, f"{path}: adjacency matrices must be square")
+
+        srcs, dsts, wgts = [], [], []
+        for _ in range(nnz):
+            parts = f.readline().split()
+            i, j = int(parts[0]) - 1, int(parts[1]) - 1
+            w = float(parts[2]) if field != "pattern" else 1.0
+            srcs.append(i)
+            dsts.append(j)
+            wgts.append(w)
+            if symmetry == "symmetric" and i != j:
+                srcs.append(j)
+                dsts.append(i)
+                wgts.append(w)
+
+    weights = (
+        np.asarray(wgts, dtype=WEIGHT_DTYPE) if field != "pattern" else None
+    )
+    return EdgeList(rows, np.asarray(srcs, np.int64), np.asarray(dsts, np.int64), weights)
+
+
+def save_matrix_market(edges: EdgeList, path: PathLike, comment: str = "") -> None:
+    """Write an :class:`EdgeList` as a general coordinate ``.mtx`` file."""
+    field = "real" if edges.has_weights else "pattern"
+    with open(path, "w") as f:
+        f.write(f"%%MatrixMarket matrix coordinate {field} general\n")
+        if comment:
+            for line in comment.splitlines():
+                f.write(f"% {line}\n")
+        f.write(f"{edges.num_vertices} {edges.num_vertices} {edges.num_edges}\n")
+        if edges.has_weights:
+            for s, d, w in zip(
+                edges.src.tolist(), edges.dst.tolist(), edges.weights.tolist()
+            ):
+                f.write(f"{s + 1} {d + 1} {w}\n")
+        else:
+            for s, d in zip(edges.src.tolist(), edges.dst.tolist()):
+                f.write(f"{s + 1} {d + 1}\n")

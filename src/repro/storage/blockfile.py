@@ -1,0 +1,289 @@
+"""File-backed typed arrays with modeled I/O charging.
+
+Graph partitions live on disk as *column files*: one flat binary file per
+edge attribute (sources, destinations, weights) plus index files. Every
+read and write goes through :class:`ArrayFile`, which performs the real
+file operation **and** charges the byte movement to the owning
+:class:`~repro.storage.disk.SimulatedDisk`.
+
+Design notes
+------------
+* Files hold a single fixed dtype; offsets are expressed in items, not
+  bytes, so callers never do size arithmetic.
+* Scattered reads (:meth:`ArrayFile.read_gather`) are the on-demand I/O
+  model's workhorse: given per-run (start, count) pairs they gather all
+  runs with one vectorized memmap fancy-index — real page reads, no
+  Python-level per-run loop — and charge each run as one request,
+  split into sequential/random classes by the caller-provided mask
+  (the scheduler's ``S_seq``/``S_ran`` split, §4.1 of the paper).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+import numpy as np
+
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pagecache import PageCache
+from repro.utils.validation import require
+
+PathLike = Union[str, os.PathLike]
+
+
+class ArrayFile:
+    """A flat binary file of items with one fixed dtype.
+
+    Instances are lightweight handles; the item count is tracked in
+    memory and verified against the on-disk size.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        dtype: np.dtype,
+        disk: SimulatedDisk,
+        cache: Optional[PageCache] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.dtype = np.dtype(dtype)
+        self.disk = disk
+        self.cache = cache
+        self._itemsize = self.dtype.itemsize
+        self._mmap: Optional[np.memmap] = None
+
+    # -- charging through the (optional) simulated page cache ---------------
+
+    def _charge_read(
+        self, offset_bytes: int, nbytes: int, sequential: bool, requests: int = 1
+    ) -> None:
+        if self.cache is not None:
+            nbytes = self.cache.access(self.path.name, offset_bytes, nbytes)
+            if nbytes == 0:
+                return  # fully cache-resident: no disk request at all
+        if sequential:
+            self.disk.charge_read_sequential(nbytes, requests=requests)
+        else:
+            self.disk.charge_read_random(nbytes, requests=requests)
+
+    def _charge_write(
+        self, offset_bytes: int, nbytes: int, sequential: bool, requests: int = 1
+    ) -> None:
+        if self.cache is not None:
+            # write-through with write-allocate: disk is charged fully,
+            # but the written pages become cache-resident.
+            self.cache.write(self.path.name, offset_bytes, nbytes)
+        if sequential:
+            self.disk.charge_write_sequential(nbytes, requests=requests)
+        else:
+            self.disk.charge_write_random(nbytes, requests=requests)
+
+    # -- metadata ------------------------------------------------------
+
+    @property
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    @property
+    def nbytes(self) -> int:
+        return self.path.stat().st_size if self.exists else 0
+
+    @property
+    def item_count(self) -> int:
+        nbytes = self.nbytes
+        require(
+            nbytes % self._itemsize == 0,
+            f"{self.path} size {nbytes} is not a multiple of itemsize {self._itemsize}",
+        )
+        return nbytes // self._itemsize
+
+    # -- writes ----------------------------------------------------------
+
+    def write(self, array: np.ndarray) -> None:
+        """Replace the file contents with ``array`` (sequential write)."""
+        data = np.ascontiguousarray(array, dtype=self.dtype)
+        self._invalidate_mmap()
+        if self.cache is not None:
+            self.cache.invalidate_file(self.path.name)  # contents replaced
+        data.tofile(self.path)
+        self._charge_write(0, data.nbytes, sequential=True)
+
+    def append(self, array: np.ndarray) -> None:
+        """Append ``array`` at the end of the file (sequential write)."""
+        data = np.ascontiguousarray(array, dtype=self.dtype)
+        self._invalidate_mmap()
+        offset = self.nbytes
+        with open(self.path, "ab") as f:
+            data.tofile(f)
+        self._charge_write(offset, data.nbytes, sequential=True)
+
+    def overwrite_slice(self, start_item: int, array: np.ndarray, random: bool = True) -> None:
+        """Overwrite ``len(array)`` items starting at ``start_item``.
+
+        Used for in-place vertex value writeback; charged as a random
+        write unless ``random=False``.
+        """
+        data = np.ascontiguousarray(array, dtype=self.dtype)
+        require(start_item >= 0, "start_item must be >= 0")
+        require(
+            start_item + len(data) <= self.item_count,
+            "overwrite_slice beyond end of file",
+        )
+        self._invalidate_mmap()
+        with open(self.path, "r+b") as f:
+            f.seek(start_item * self._itemsize)
+            data.tofile(f)
+        self._charge_write(start_item * self._itemsize, data.nbytes, sequential=not random)
+
+    # -- reads -----------------------------------------------------------
+
+    def read_all(self) -> np.ndarray:
+        """Read the entire file as one sequential scan."""
+        data = np.fromfile(self.path, dtype=self.dtype)
+        self._charge_read(0, data.nbytes, sequential=True)
+        return data
+
+    def read_slice(self, start_item: int, count: int, sequential: bool = True) -> np.ndarray:
+        """Read ``count`` items starting at ``start_item``."""
+        require(start_item >= 0 and count >= 0, "negative offset or count")
+        if count == 0:
+            return np.empty(0, dtype=self.dtype)
+        require(start_item + count <= self.item_count, "read_slice beyond end of file")
+        data = np.fromfile(
+            self.path, dtype=self.dtype, count=count, offset=start_item * self._itemsize
+        )
+        self._charge_read(start_item * self._itemsize, data.nbytes, sequential)
+        return data
+
+    def read_gather(
+        self,
+        starts: np.ndarray,
+        counts: np.ndarray,
+        seq_run_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Gather multiple (start, count) runs into one concatenated array.
+
+        ``seq_run_mask[k]`` selects whether run ``k`` is charged at
+        sequential or random bandwidth; by default every run is random.
+        Runs are charged one request each. Returns the runs concatenated
+        in argument order.
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        require(starts.shape == counts.shape, "starts/counts shape mismatch")
+        if starts.size == 0:
+            return np.empty(0, dtype=self.dtype)
+        require(counts.min() >= 0 and starts.min() >= 0, "negative start or count")
+        total_items = self.item_count
+        require(int((starts + counts).max()) <= total_items, "gather run beyond end of file")
+
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=self.dtype)
+
+        # Vectorized multi-run gather: positions[r] enumerates each run's
+        # item indices back to back, then one fancy-index on the memmap.
+        cum = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        positions = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(cum, counts)
+            + np.repeat(starts, counts)
+        )
+        data = np.asarray(self._get_mmap()[positions])
+
+        nonempty = counts > 0
+        if seq_run_mask is None:
+            seq_run_mask = np.zeros_like(nonempty)
+        else:
+            seq_run_mask = np.asarray(seq_run_mask, dtype=bool)
+            require(seq_run_mask.shape == starts.shape, "seq_run_mask shape mismatch")
+        if self.cache is not None:
+            # Per-run cache filtering (runs are few after merging).
+            for k in np.flatnonzero(nonempty):
+                self._charge_read(
+                    int(starts[k]) * self._itemsize,
+                    int(counts[k]) * self._itemsize,
+                    sequential=bool(seq_run_mask[k]),
+                )
+            return data
+        seq_runs = nonempty & seq_run_mask
+        ran_runs = nonempty & ~seq_run_mask
+        seq_bytes = int(counts[seq_runs].sum()) * self._itemsize
+        ran_bytes = int(counts[ran_runs].sum()) * self._itemsize
+        if seq_bytes or int(seq_runs.sum()):
+            self.disk.charge_read_sequential(seq_bytes, requests=int(seq_runs.sum()))
+        if ran_bytes or int(ran_runs.sum()):
+            self.disk.charge_read_random(ran_bytes, requests=int(ran_runs.sum()))
+        return data
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def delete(self) -> None:
+        self._invalidate_mmap()
+        if self.exists:
+            self.path.unlink()
+
+    def _get_mmap(self) -> np.memmap:
+        if self._mmap is None or self._mmap.shape[0] != self.item_count:
+            self._mmap = np.memmap(self.path, dtype=self.dtype, mode="r")
+        return self._mmap
+
+    def _invalidate_mmap(self) -> None:
+        self._mmap = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArrayFile({self.path.name}, dtype={self.dtype}, items={self.item_count if self.exists else 0})"
+
+
+class Device:
+    """A directory of :class:`ArrayFile` objects on one simulated disk.
+
+    Acts as the 'volume' a graph's on-disk representation lives on; all
+    files created through one device share its :class:`SimulatedDisk`
+    accounting.
+    """
+
+    def __init__(
+        self,
+        root: PathLike,
+        disk: Optional[SimulatedDisk] = None,
+        page_cache: Optional[PageCache] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.disk = disk if disk is not None else SimulatedDisk()
+        self.page_cache = page_cache
+        self._files: Dict[str, ArrayFile] = {}
+
+    def array_file(self, name: str, dtype: np.dtype) -> ArrayFile:
+        """Get (or create a handle for) the named column file."""
+        require("/" not in name and name not in ("", ".", ".."), f"bad file name {name!r}")
+        key = name
+        existing = self._files.get(key)
+        if existing is not None:
+            require(
+                existing.dtype == np.dtype(dtype),
+                f"file {name!r} already opened with dtype {existing.dtype}",
+            )
+            return existing
+        f = ArrayFile(self.root / name, np.dtype(dtype), self.disk, cache=self.page_cache)
+        self._files[key] = f
+        return f
+
+    def file_names(self) -> Iterator[str]:
+        return iter(sorted(p.name for p in self.root.iterdir() if p.is_file()))
+
+    def total_bytes(self) -> int:
+        """Total on-disk size of all files under the device root."""
+        return sum(p.stat().st_size for p in self.root.iterdir() if p.is_file())
+
+    def purge(self) -> None:
+        """Delete every file under the device root."""
+        for f in list(self._files.values()):
+            f.delete()
+        self._files.clear()
+        for p in self.root.iterdir():
+            if p.is_file():
+                p.unlink()

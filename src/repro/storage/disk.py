@@ -1,0 +1,218 @@
+"""Disk and machine performance models.
+
+The paper's state-aware scheduler (§4.1) predicts per-iteration I/O cost
+from four bandwidth classes — sequential/random × read/write — measured
+once with ``fio`` on the testbed. We mirror that exactly:
+
+* :class:`DiskProfile` holds the four bandwidths plus a per-request
+  latency (seek/dispatch overhead), with HDD/SSD/NVMe presets;
+* :class:`SimulatedDisk` charges every transfer to a
+  :class:`~repro.utils.timers.SimClock` using the profile and records the
+  traffic in :class:`~repro.storage.iostats.IOStats`;
+* :class:`MachineProfile` adds modeled compute rates so that the engines'
+  update phases also accumulate deterministic time, keeping the
+  I/O:compute proportions in the paper's regime (Fig. 6: I/O is 56–91 %
+  of execution time).
+
+Because the scheduler and the disk share the same profile object, the
+scheduler's cost predictions are *exact* for the traffic it anticipates —
+mirroring the paper's claim that the benefit evaluation "provides an
+accurate performance prediction" (§4.1, validated in their Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.storage.iostats import IOStats
+from repro.utils.timers import IO_READ, IO_WRITE, SimClock
+from repro.utils.validation import check_nonneg, check_positive
+
+MiB = float(1 << 20)
+
+
+@dataclass(frozen=True)
+class DiskProfile:
+    """Bandwidth/latency model of one storage device.
+
+    Bandwidths are in bytes/second; ``request_latency_s`` is charged once
+    per I/O request (a seek on HDDs, command dispatch on flash).
+    """
+
+    name: str
+    seq_read_bw: float
+    seq_write_bw: float
+    ran_read_bw: float
+    ran_write_bw: float
+    request_latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.seq_read_bw, "seq_read_bw")
+        check_positive(self.seq_write_bw, "seq_write_bw")
+        check_positive(self.ran_read_bw, "ran_read_bw")
+        check_positive(self.ran_write_bw, "ran_write_bw")
+        check_nonneg(self.request_latency_s, "request_latency_s")
+
+    # Cost helpers shared verbatim by SimulatedDisk (actual charging) and
+    # the state-aware scheduler (prediction), so predictions are exact.
+
+    def seq_read_time(self, nbytes: int, requests: int = 1) -> float:
+        return nbytes / self.seq_read_bw + requests * self.request_latency_s
+
+    def seq_write_time(self, nbytes: int, requests: int = 1) -> float:
+        return nbytes / self.seq_write_bw + requests * self.request_latency_s
+
+    def ran_read_time(self, nbytes: int, requests: int = 1) -> float:
+        return nbytes / self.ran_read_bw + requests * self.request_latency_s
+
+    def ran_write_time(self, nbytes: int, requests: int = 1) -> float:
+        return nbytes / self.ran_write_bw + requests * self.request_latency_s
+
+    def scaled(self, factor: float) -> "DiskProfile":
+        """A profile with all bandwidths multiplied by ``factor``."""
+        check_positive(factor, "factor")
+        return replace(
+            self,
+            name=f"{self.name}x{factor:g}",
+            seq_read_bw=self.seq_read_bw * factor,
+            seq_write_bw=self.seq_write_bw * factor,
+            ran_read_bw=self.ran_read_bw * factor,
+            ran_write_bw=self.ran_write_bw * factor,
+        )
+
+
+#: A 7200 rpm SATA HDD in the class of the paper's testbed (two 500 GB
+#: drives). Following the paper's cost model (§4.1), seek cost is folded
+#: into the *effective random bandwidth* ``B_rr``/``B_rw`` rather than
+#: charged per request: the model is pure bandwidth-class accounting,
+#: which keeps the full/on-demand crossover at the same *fraction of the
+#: graph* regardless of absolute scale — essential for scaled-down
+#: proxies to reproduce the paper's scheduling behaviour. Per-request
+#: latency therefore defaults to zero in every preset; it remains a
+#: profile parameter for sensitivity studies.
+HDD_PROFILE = DiskProfile(
+    name="hdd",
+    seq_read_bw=150 * MiB,
+    seq_write_bw=120 * MiB,
+    ran_read_bw=12 * MiB,
+    ran_write_bw=8 * MiB,
+)
+
+#: SATA SSD: random access is cheap but still below sequential.
+SSD_PROFILE = DiskProfile(
+    name="ssd",
+    seq_read_bw=520 * MiB,
+    seq_write_bw=450 * MiB,
+    ran_read_bw=300 * MiB,
+    ran_write_bw=250 * MiB,
+)
+
+#: NVMe flash: the sequential/random gap nearly closes.
+NVME_PROFILE = DiskProfile(
+    name="nvme",
+    seq_read_bw=3200 * MiB,
+    seq_write_bw=2800 * MiB,
+    ran_read_bw=2400 * MiB,
+    ran_write_bw=2000 * MiB,
+)
+
+PROFILES = {p.name: p for p in (HDD_PROFILE, SSD_PROFILE, NVME_PROFILE)}
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """Full machine model: disk + modeled compute throughput.
+
+    ``edge_update_rate`` is edge updates per second across all execution
+    threads (the paper uses 16); ``vertex_scan_rate`` covers per-vertex
+    work such as apply steps and frontier scans; ``sched_eval_rate`` is
+    the rate of the O(|A|) benefit-evaluation pass of §4.1 (charged to
+    the ``scheduling`` component, measured in Fig. 11).
+    """
+
+    disk: DiskProfile = HDD_PROFILE
+    edge_update_rate: float = 100e6
+    vertex_scan_rate: float = 400e6
+    sched_eval_rate: float = 120e6
+
+    def __post_init__(self) -> None:
+        check_positive(self.edge_update_rate, "edge_update_rate")
+        check_positive(self.vertex_scan_rate, "vertex_scan_rate")
+        check_positive(self.sched_eval_rate, "sched_eval_rate")
+
+    def edge_compute_time(self, num_edges: int) -> float:
+        return num_edges / self.edge_update_rate
+
+    def vertex_compute_time(self, num_vertices: int) -> float:
+        return num_vertices / self.vertex_scan_rate
+
+    def sched_eval_time(self, num_ops: int) -> float:
+        return num_ops / self.sched_eval_rate
+
+    def with_disk(self, disk: DiskProfile) -> "MachineProfile":
+        return replace(self, disk=disk)
+
+
+DEFAULT_MACHINE = MachineProfile()
+
+
+class SimulatedDisk:
+    """Charges real data movement to a modeled disk.
+
+    The engines perform genuine file reads/writes through
+    :mod:`repro.storage.blockfile`; each call lands here, increments the
+    :class:`IOStats` counters, and advances the shared
+    :class:`~repro.utils.timers.SimClock` by the modeled transfer time.
+    """
+
+    def __init__(self, profile: DiskProfile = HDD_PROFILE, clock: Optional[SimClock] = None):
+        self.profile = profile
+        self.clock = clock if clock is not None else SimClock()
+        self.stats = IOStats()
+
+    # -- reads -------------------------------------------------------------
+
+    def charge_read_sequential(self, nbytes: int, requests: int = 1) -> None:
+        check_nonneg(nbytes, "nbytes")
+        check_nonneg(requests, "requests")
+        self.stats.bytes_read_seq += nbytes
+        self.stats.read_requests_seq += requests
+        self.clock.charge(IO_READ, self.profile.seq_read_time(nbytes, requests))
+
+    def charge_read_random(self, nbytes: int, requests: int = 1) -> None:
+        check_nonneg(nbytes, "nbytes")
+        check_nonneg(requests, "requests")
+        self.stats.bytes_read_ran += nbytes
+        self.stats.read_requests_ran += requests
+        self.clock.charge(IO_READ, self.profile.ran_read_time(nbytes, requests))
+
+    # -- writes ------------------------------------------------------------
+
+    def charge_write_sequential(self, nbytes: int, requests: int = 1) -> None:
+        check_nonneg(nbytes, "nbytes")
+        check_nonneg(requests, "requests")
+        self.stats.bytes_written_seq += nbytes
+        self.stats.write_requests_seq += requests
+        self.clock.charge(IO_WRITE, self.profile.seq_write_time(nbytes, requests))
+
+    def charge_write_random(self, nbytes: int, requests: int = 1) -> None:
+        check_nonneg(nbytes, "nbytes")
+        check_nonneg(requests, "requests")
+        self.stats.bytes_written_ran += nbytes
+        self.stats.write_requests_ran += requests
+        self.clock.charge(IO_WRITE, self.profile.ran_write_time(nbytes, requests))
+
+    # -- cache accounting (used by the sub-block buffer, §4.3) --------------
+
+    def record_cache_hit(self, nbytes: int) -> None:
+        self.stats.cache_hits += 1
+        self.stats.bytes_served_from_cache += nbytes
+
+    def record_cache_miss(self) -> None:
+        self.stats.cache_misses += 1
+
+    def reset(self) -> None:
+        """Clear counters and clock (the profile is retained)."""
+        self.stats.reset()
+        self.clock.reset()

@@ -1,0 +1,84 @@
+"""Raw I/O traffic counters.
+
+These counters are the ground truth behind the paper's Fig. 7 / Fig. 9(b)
+"I/O traffic" comparisons: total bytes read and written, split by access
+class, plus request counts and buffer-cache hit accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class IOStats:
+    """Cumulative I/O counters for one simulated disk.
+
+    All byte counts are monotonically non-decreasing; snapshots can be
+    subtracted to get per-phase traffic.
+    """
+
+    bytes_read_seq: int = 0
+    bytes_read_ran: int = 0
+    bytes_written_seq: int = 0
+    bytes_written_ran: int = 0
+    read_requests_seq: int = 0
+    read_requests_ran: int = 0
+    write_requests_seq: int = 0
+    write_requests_ran: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    bytes_served_from_cache: int = 0
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def bytes_read(self) -> int:
+        return self.bytes_read_seq + self.bytes_read_ran
+
+    @property
+    def bytes_written(self) -> int:
+        return self.bytes_written_seq + self.bytes_written_ran
+
+    @property
+    def total_traffic(self) -> int:
+        """Total bytes moved to/from disk (the Fig. 7 metric)."""
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def read_requests(self) -> int:
+        return self.read_requests_seq + self.read_requests_ran
+
+    @property
+    def write_requests(self) -> int:
+        return self.write_requests_seq + self.write_requests_ran
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    # -- algebra -----------------------------------------------------------
+
+    def snapshot(self) -> "IOStats":
+        """An independent copy of the current counters."""
+        return IOStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def __sub__(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            **{f.name: getattr(self, f.name) - getattr(other, f.name) for f in fields(self)}
+        )
+
+    def __add__(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            **{f.name: getattr(self, f.name) + getattr(other, f.name) for f in fields(self)}
+        )
+
+    def merge(self, other: "IOStats") -> None:
+        """Fold another counter set into this one in place."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)

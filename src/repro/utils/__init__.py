@@ -1,0 +1,33 @@
+"""Shared low-level utilities for the GraphSD reproduction.
+
+The utilities here are deliberately dependency-free (NumPy only) so every
+other subpackage — storage substrate, graph representation, engines,
+benchmark harness — can build on them without import cycles.
+"""
+
+from repro.utils.bitset import VertexSubset
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.timers import SimClock, WallTimer, TimeBreakdown
+from repro.utils.validation import (
+    check_dtype,
+    check_in_range,
+    check_nonneg,
+    check_positive,
+    check_same_length,
+    require,
+)
+
+__all__ = [
+    "VertexSubset",
+    "make_rng",
+    "spawn_rngs",
+    "SimClock",
+    "WallTimer",
+    "TimeBreakdown",
+    "check_dtype",
+    "check_in_range",
+    "check_nonneg",
+    "check_positive",
+    "check_same_length",
+    "require",
+]

@@ -1,0 +1,51 @@
+"""Argument validation helpers.
+
+All engines and storage objects validate their inputs eagerly so that
+misconfiguration fails at construction time with a clear message rather
+than deep inside a vectorized kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(value: float, name: str) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonneg(value: float, name: str) -> None:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_in_range(value: float, lo: float, hi: float, name: str) -> None:
+    """Require ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def check_same_length(name_a: str, a: Sequence[Any], name_b: str, b: Sequence[Any]) -> None:
+    """Require two sequences to have equal length."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same length "
+            f"(got {len(a)} vs {len(b)})"
+        )
+
+
+def check_dtype(array: np.ndarray, dtype: Any, name: str) -> None:
+    """Require ``array.dtype`` to equal ``dtype`` exactly."""
+    if array.dtype != np.dtype(dtype):
+        raise TypeError(f"{name} must have dtype {np.dtype(dtype)}, got {array.dtype}")

@@ -1,0 +1,134 @@
+"""Combine semantics, scatter_combine, the registry, and program plumbing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    BFS,
+    Combine,
+    ConnectedComponents,
+    GraphContext,
+    PageRank,
+    PageRankDelta,
+    SSSP,
+    available_programs,
+    make_program,
+    scatter_combine,
+)
+
+
+def test_combine_identities():
+    assert Combine.ADD.identity == 0.0
+    assert Combine.MIN.identity == np.inf
+
+
+def test_scatter_combine_add_accumulates_duplicates():
+    acc = np.zeros(4)
+    scatter_combine(Combine.ADD, acc, np.array([1, 1, 3]), np.array([1.0, 2.0, 5.0]))
+    assert acc.tolist() == [0.0, 3.0, 0.0, 5.0]
+
+
+def test_scatter_combine_min_keeps_minimum():
+    acc = np.full(4, np.inf)
+    scatter_combine(Combine.MIN, acc, np.array([2, 2, 0]), np.array([7.0, 3.0, 1.0]))
+    assert acc[2] == 3.0 and acc[0] == 1.0 and np.isinf(acc[1])
+
+
+def test_scatter_combine_empty_is_noop():
+    acc = np.ones(3)
+    scatter_combine(Combine.ADD, acc, np.array([], dtype=np.int64), np.array([]))
+    assert acc.tolist() == [1.0, 1.0, 1.0]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(1, 20),
+    pushes=st.lists(
+        st.tuples(st.integers(0, 19), st.floats(0, 100, allow_nan=False)), max_size=40
+    ),
+    combine=st.sampled_from([Combine.ADD, Combine.MIN]),
+)
+def test_scatter_combine_matches_sequential_reduction(n, pushes, combine):
+    pushes = [(d % n, v) for d, v in pushes]
+    acc = np.full(n, combine.identity)
+    if pushes:
+        dst = np.array([d for d, _ in pushes])
+        contrib = np.array([v for _, v in pushes])
+        scatter_combine(combine, acc, dst, contrib)
+    expected = np.full(n, combine.identity)
+    for d, v in pushes:
+        expected[d] = expected[d] + v if combine is Combine.ADD else min(expected[d], v)
+    assert np.allclose(acc, expected)
+
+
+def test_registry_canonical_names():
+    assert available_programs() == [
+        "pagerank", "pagerank_delta", "ppr", "cc", "sssp", "sswp", "bfs",
+    ]
+
+
+@pytest.mark.parametrize(
+    "name,cls",
+    [
+        ("pagerank", PageRank),
+        ("pr", PageRank),
+        ("PR-D", PageRankDelta),
+        ("pagerank_delta", PageRankDelta),
+        ("cc", ConnectedComponents),
+        ("SSSP", SSSP),
+        ("bfs", BFS),
+    ],
+)
+def test_registry_resolves_aliases(name, cls):
+    assert isinstance(make_program(name), cls)
+
+
+def test_registry_passes_params():
+    p = make_program("sssp", source=5)
+    assert p.source == 5
+
+
+def test_registry_unknown_name():
+    with pytest.raises(KeyError, match="unknown program"):
+        make_program("pagerankk")
+
+
+def test_context_requires_degrees_when_needed():
+    ctx = GraphContext(num_vertices=3, num_edges=0)
+    with pytest.raises(ValueError):
+        ctx.require_out_degrees()
+    with pytest.raises(ValueError):
+        PageRank().init_state(ctx)
+
+
+def test_state_value_bytes_counts_all_arrays():
+    ctx = GraphContext(3, 0, out_degrees=np.zeros(3, dtype=np.int64))
+    prd = PageRankDelta()
+    state = prd.init_state(ctx)
+    assert prd.state_value_bytes(state) == 16  # value + delta, float64 each
+    pr = PageRank()
+    assert pr.state_value_bytes(pr.init_state(ctx)) == 8
+
+
+def test_copy_state_is_deep():
+    ctx = GraphContext(3, 0, out_degrees=np.zeros(3, dtype=np.int64))
+    p = ConnectedComponents()
+    state = p.init_state(ctx)
+    snap = p.copy_state(state)
+    state["value"][0] = 99
+    assert snap["value"][0] == 0
+
+
+def test_program_parameter_validation():
+    with pytest.raises(ValueError):
+        PageRank(damping=1.5)
+    with pytest.raises(ValueError):
+        PageRank(iterations=0)
+    with pytest.raises(ValueError):
+        PageRankDelta(tol=-1)
+    with pytest.raises(ValueError):
+        SSSP(source=-1)
+    with pytest.raises(ValueError):
+        BFS(root=-2)

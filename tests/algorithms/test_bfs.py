@@ -1,0 +1,67 @@
+"""BFS levels vs networkx and closed-form structures."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS
+from repro.baselines import BSPReference
+from repro.datasets import binary_tree, chain, grid_2d, star
+from repro.graph.edgelist import EdgeList
+from tests.conftest import random_edgelist
+
+
+def test_matches_networkx_levels(rng):
+    el = random_edgelist(rng, 200, 800, weighted=False)
+    result = BSPReference(el).run(BFS(root=0))
+    g = nx.DiGraph()
+    g.add_nodes_from(range(el.num_vertices))
+    g.add_edges_from(zip(el.src.tolist(), el.dst.tolist()))
+    expected = nx.single_source_shortest_path_length(g, 0)
+    for v in range(el.num_vertices):
+        if v in expected:
+            assert result.values[v] == expected[v]
+        else:
+            assert np.isinf(result.values[v])
+
+
+def test_chain_levels_and_iteration_count():
+    result = BSPReference(chain(12)).run(BFS(root=0))
+    assert np.array_equal(result.values, np.arange(12))
+    # one frontier hop per iteration, plus the final empty check
+    assert result.iterations == 12
+    assert result.frontier_history == [1] * 12
+
+
+def test_star_reaches_everything_in_one_hop():
+    result = BSPReference(star(30, outward=True)).run(BFS(root=0))
+    assert result.values[0] == 0
+    assert np.all(result.values[1:] == 1)
+
+
+def test_binary_tree_levels():
+    depth = 5
+    result = BSPReference(binary_tree(depth)).run(BFS(root=0))
+    for v in range((1 << (depth + 1)) - 1):
+        assert result.values[v] == int(np.floor(np.log2(v + 1)))
+
+
+def test_grid_levels_are_manhattan():
+    result = BSPReference(grid_2d(4, 9)).run(BFS(root=0))
+    for r in range(4):
+        for c in range(9):
+            assert result.values[r * 9 + c] == r + c
+
+
+def test_levels_helper_marks_unreachable():
+    el = EdgeList.from_pairs([(0, 1)], num_vertices=3)
+    prog = BFS(root=0)
+    ref = BSPReference(el)
+    r = ref.run(prog)
+    levels = prog.levels(r.state)
+    assert levels.tolist() == [0, 1, -1]
+
+
+def test_root_out_of_range(rng):
+    with pytest.raises(ValueError):
+        BSPReference(random_edgelist(rng, 5, 10)).run(BFS(root=5))

@@ -1,0 +1,70 @@
+"""Connected Components vs networkx ground truth and closed forms."""
+
+import networkx as nx
+import numpy as np
+
+from repro.algorithms import ConnectedComponents
+from repro.baselines import BSPReference
+from repro.datasets import disjoint_cliques, grid_2d, ring
+from repro.graph.edgelist import EdgeList
+from tests.conftest import random_edgelist
+
+
+def run_cc(edges: EdgeList):
+    return BSPReference(edges.symmetrized()).run(ConnectedComponents())
+
+
+def test_matches_networkx_weak_components(rng):
+    el = random_edgelist(rng, 300, 500, weighted=False)  # sparse => many comps
+    result = run_cc(el)
+    g = nx.DiGraph()
+    g.add_nodes_from(range(el.num_vertices))
+    g.add_edges_from(zip(el.src.tolist(), el.dst.tolist()))
+    labels = result.values.astype(np.int64)
+    for comp in nx.weakly_connected_components(g):
+        comp_labels = {int(labels[v]) for v in comp}
+        assert len(comp_labels) == 1
+        assert comp_labels.pop() == min(comp)
+
+
+def test_label_is_component_minimum(rng):
+    el = random_edgelist(rng, 120, 200, weighted=False)
+    labels = run_cc(el).values.astype(np.int64)
+    # every label is a member of its own component and labels itself
+    for v, lab in enumerate(labels.tolist()):
+        assert labels[lab] == lab
+        assert lab <= v
+
+
+def test_disjoint_cliques_exact():
+    el = disjoint_cliques(5, 4)
+    labels = run_cc(el).values.astype(np.int64)
+    expected = (np.arange(20) // 4) * 4
+    assert np.array_equal(labels, expected)
+
+
+def test_single_ring_is_one_component():
+    labels = run_cc(ring(50)).values
+    assert np.all(labels == 0)
+
+
+def test_isolated_vertices_label_themselves():
+    el = EdgeList.from_pairs([(0, 1)], num_vertices=4)
+    labels = run_cc(el).values.astype(np.int64)
+    assert labels.tolist() == [0, 0, 2, 3]
+
+
+def test_grid_is_single_component_with_diameter_bound():
+    el = grid_2d(6, 6)
+    result = BSPReference(el).run(ConnectedComponents())
+    assert np.all(result.values == 0)
+    # label propagation needs at most diameter+1 iterations
+    assert result.iterations <= 6 + 6
+
+
+def test_labels_helper_returns_ints(rng):
+    el = random_edgelist(rng, 20, 40, weighted=False)
+    prog = ConnectedComponents()
+    ref = BSPReference(el.symmetrized())
+    state = prog.init_state(ref.ctx)
+    assert prog.labels(state).dtype == np.int64

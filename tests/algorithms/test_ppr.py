@@ -1,0 +1,74 @@
+"""Personalized PageRank vs a dense linear-system reference."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import PersonalizedPageRank, make_program
+from repro.baselines import BSPReference
+from repro.core import GraphSDEngine
+from repro.graph import EdgeList
+from repro.graph.degree import out_degrees
+from tests.conftest import build_store, random_edgelist
+
+
+def dense_ppr_fixpoint(el: EdgeList, seeds, damping=0.85) -> np.ndarray:
+    """Solve (I - d M) x = (1-d) e_S directly."""
+    n = el.num_vertices
+    deg = out_degrees(el).astype(np.float64)
+    M = np.zeros((n, n))
+    inv = np.where(deg > 0, 1.0 / np.maximum(deg, 1), 0.0)
+    for s, d in zip(el.src.tolist(), el.dst.tolist()):
+        M[d, s] += inv[s]
+    e = np.zeros(n)
+    e[list(seeds)] = (1 - damping) / len(seeds)
+    return np.linalg.solve(np.eye(n) - damping * M, e)
+
+
+def test_converges_to_linear_system_solution(rng):
+    el = random_edgelist(rng, 60, 400, weighted=False)
+    seeds = [0, 5]
+    prog = PersonalizedPageRank(seeds, tol=0.0, iterations=300)
+    result = BSPReference(el).run(prog)
+    expected = dense_ppr_fixpoint(el, seeds)
+    assert np.allclose(result.values, expected, atol=1e-8)
+
+
+def test_mass_concentrates_near_seeds():
+    # Two disjoint rings: mass only on the seeded one.
+    pairs = [(i, (i + 1) % 5) for i in range(5)] + [(5 + i, 5 + (i + 1) % 5) for i in range(5)]
+    el = EdgeList.from_pairs(pairs, num_vertices=10)
+    prog = PersonalizedPageRank([0], tol=0.0, iterations=200)
+    result = BSPReference(el).run(prog)
+    assert result.values[:5].sum() > 0
+    assert np.allclose(result.values[5:], 0.0)
+    assert result.values[0] == result.values.max()
+
+
+def test_frontier_spreads_from_seeds(rng):
+    el = random_edgelist(rng, 300, 2400, weighted=False)
+    prog = PersonalizedPageRank([7], tol=1e-7, iterations=25)
+    result = BSPReference(el).run(prog)
+    fh = result.frontier_history
+    assert fh[0] == 1
+    assert max(fh) > 1  # activity radiates outward
+
+
+def test_engine_matches_oracle(rng, tmp_path):
+    el = random_edgelist(rng, 150, 1100)
+    prog_args = dict(seeds=[1, 2, 3], tol=1e-7, iterations=25)
+    ref = BSPReference(el).run(PersonalizedPageRank(**prog_args))
+    store = build_store(el, tmp_path, P=4, name="ppr")
+    result = GraphSDEngine(store).run(PersonalizedPageRank(**prog_args))
+    assert np.allclose(ref.values, result.values)
+    assert ref.iterations == result.iterations
+
+
+def test_registry_and_validation():
+    p = make_program("ppr", seeds=[3, 3, 1])
+    assert p.seeds == [1, 3]
+    with pytest.raises(ValueError):
+        PersonalizedPageRank([])
+    with pytest.raises(ValueError):
+        PersonalizedPageRank([-1])
+    with pytest.raises(ValueError):
+        PersonalizedPageRank([0], damping=2.0)

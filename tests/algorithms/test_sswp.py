@@ -1,0 +1,91 @@
+"""SSWP (widest path) vs an independent Dijkstra-style reference."""
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.algorithms import SSWP
+from repro.baselines import BSPReference
+from repro.core import GraphSDEngine
+from repro.datasets import chain
+from repro.graph import EdgeList
+from tests.conftest import build_store, random_edgelist
+
+
+def widest_paths_reference(el: EdgeList, source: int) -> np.ndarray:
+    """Max-min Dijkstra with a max-heap (independent of the engine code)."""
+    n = el.num_vertices
+    adj = [[] for _ in range(n)]
+    for s, d, w in zip(el.src.tolist(), el.dst.tolist(), el.weights.tolist()):
+        adj[s].append((d, w))
+    width = np.zeros(n)
+    width[source] = np.inf
+    heap = [(-np.inf, source)]
+    done = [False] * n
+    while heap:
+        neg_w, u = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        for v, w_uv in adj[u]:
+            cand = min(-neg_w, w_uv)
+            if cand > width[v]:
+                width[v] = cand
+                heapq.heappush(heap, (-cand, v))
+    return width
+
+
+def test_matches_widest_path_dijkstra(rng):
+    el = random_edgelist(rng, 120, 900, weighted=True)
+    prog = SSWP(source=0)
+    result = BSPReference(el).run(prog)
+    widths = prog.widths(result.state)
+    expected = widest_paths_reference(el, 0)
+    assert np.allclose(widths, expected)
+
+
+def test_chain_width_is_minimum_edge():
+    w = np.array([0.9, 0.2, 0.7, 0.5], dtype=np.float32)
+    el = chain(5).with_weights(w)
+    prog = SSWP(source=0)
+    result = BSPReference(el).run(prog)
+    widths = prog.widths(result.state)
+    assert np.allclose(widths[1:], np.minimum.accumulate(w))
+    assert np.isinf(widths[0])
+
+
+def test_wider_detour_beats_direct_edge():
+    # 0 -> 2 directly with width 0.1; via 1 with bottleneck 0.8.
+    el = EdgeList.from_pairs([(0, 2), (0, 1), (1, 2)]).with_weights(
+        np.array([0.1, 0.9, 0.8], dtype=np.float32)
+    )
+    prog = SSWP(source=0)
+    result = BSPReference(el).run(prog)
+    assert prog.widths(result.state)[2] == pytest.approx(0.8)
+
+
+def test_unreachable_vertices_have_zero_width():
+    el = EdgeList.from_pairs([(0, 1)], num_vertices=3).with_weights(
+        np.array([0.5], dtype=np.float32)
+    )
+    prog = SSWP(source=0)
+    result = BSPReference(el).run(prog)
+    assert prog.widths(result.state)[2] == 0.0
+
+
+def test_engine_matches_oracle(rng, tmp_path):
+    el = random_edgelist(rng, 150, 1200, weighted=True)
+    ref = BSPReference(el).run(SSWP(source=3))
+    store = build_store(el, tmp_path, P=4, name="sswp")
+    result = GraphSDEngine(store).run(SSWP(source=3))
+    assert np.allclose(ref.values, result.values, equal_nan=True)
+    assert ref.iterations == result.iterations
+
+
+def test_requires_weights_and_valid_source(rng):
+    el = random_edgelist(rng, 10, 30, weighted=False)
+    with pytest.raises(ValueError):
+        BSPReference(el).run(SSWP(source=0))
+    with pytest.raises(ValueError):
+        SSWP(source=-1)

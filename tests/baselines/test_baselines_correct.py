@@ -1,0 +1,66 @@
+"""Every baseline engine computes oracle-identical results."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BFS,
+    ConnectedComponents,
+    PageRank,
+    PageRankDelta,
+    SSSP,
+)
+from repro.baselines import (
+    BSPReference,
+    GraphChiEngine,
+    GridGraphEngine,
+    HUSGraphEngine,
+    LumosEngine,
+    XStreamEngine,
+)
+from tests.conftest import build_store, random_edgelist
+
+ENGINES = {
+    "husgraph": (HUSGraphEngine, dict(indexed=True)),
+    "lumos": (LumosEngine, dict(indexed=False, sort_within_blocks=False)),
+    "gridgraph": (GridGraphEngine, dict(indexed=False, sort_within_blocks=False)),
+    "graphchi": (GraphChiEngine, dict(indexed=False, sort_within_blocks=False)),
+    "xstream": (XStreamEngine, dict(indexed=False, sort_within_blocks=False)),
+}
+
+PROGRAMS = {
+    "pagerank": lambda: PageRank(iterations=5),
+    "pagerank_delta": lambda: PageRankDelta(iterations=12),
+    "cc": ConnectedComponents,
+    "sssp": lambda: SSSP(source=0),
+    "bfs": lambda: BFS(root=0),
+}
+
+
+@pytest.mark.parametrize("engine_name", list(ENGINES))
+@pytest.mark.parametrize("program_name", list(PROGRAMS))
+def test_baseline_matches_oracle(rng, tmp_path, engine_name, program_name):
+    edges = random_edgelist(rng, 180, 1300)
+    cls, store_kwargs = ENGINES[engine_name]
+    ref = BSPReference(edges).run(PROGRAMS[program_name]())
+    store = build_store(edges, tmp_path, P=3, name=engine_name, **store_kwargs)
+    result = cls(store).run(PROGRAMS[program_name]())
+    assert np.allclose(ref.values, result.values, equal_nan=True)
+    assert result.engine == engine_name
+
+
+def test_husgraph_never_cross_pushes(rng, tmp_path):
+    edges = random_edgelist(rng, 150, 1000)
+    store = build_store(edges, tmp_path, P=3, name="hus")
+    result = HUSGraphEngine(store).run(SSSP(source=0))
+    assert all(r.cross_pushed == 0 for r in result.per_iteration)
+    assert all(m in ("sciu", "full") for m in result.model_history)
+
+
+def test_lumos_never_selects_on_demand(rng, tmp_path):
+    edges = random_edgelist(rng, 150, 1000)
+    store = build_store(
+        edges, tmp_path, P=3, name="lum", indexed=False, sort_within_blocks=False
+    )
+    result = LumosEngine(store).run(SSSP(source=0))
+    assert all(m in ("fciu", "fciu2", "full") for m in result.model_history)

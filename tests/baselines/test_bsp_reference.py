@@ -1,0 +1,57 @@
+"""BSPReference oracle sanity: strict synchronous semantics."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, ConnectedComponents, PageRank, SSSP
+from repro.baselines import BSPReference
+from repro.datasets import chain, ring
+from repro.graph import EdgeList
+from tests.conftest import random_edgelist
+
+
+def test_frontier_history_is_per_iteration():
+    el = chain(6)
+    r = BSPReference(el).run(BFS(root=0))
+    assert r.frontier_history == [1] * 6
+    assert r.iterations == 6
+    assert r.converged
+
+
+def test_record_history_snapshots_every_iteration():
+    el = chain(5)
+    r = BSPReference(el).run(BFS(root=0), record_history=True)
+    assert len(r.state_history) == r.iterations
+    # snapshot k reflects levels known after k+1 iterations
+    assert r.state_history[0]["value"][1] == 1
+    assert np.isinf(r.state_history[0]["value"][2])
+    assert r.state_history[1]["value"][2] == 2
+
+
+def test_max_iterations_caps_execution(rng):
+    el = random_edgelist(rng, 50, 400, weighted=False)
+    r = BSPReference(el).run(PageRank(iterations=10), max_iterations=3)
+    assert r.iterations == 3
+    assert not r.converged
+
+
+def test_converged_flag_set_on_empty_frontier():
+    el = ring(8)
+    r = BSPReference(el).run(ConnectedComponents())
+    assert r.converged
+    assert np.all(r.values == 0)
+
+
+def test_gathers_only_from_frontier_sources():
+    """An inactive source must not push: give vertex 2 a stale value and
+    check a 1-iteration BFS from 0 ignores it."""
+    el = EdgeList.from_pairs([(0, 1), (2, 3)])
+    r = BSPReference(el).run(BFS(root=0), max_iterations=1)
+    assert r.values[1] == 1
+    assert np.isinf(r.values[3])  # vertex 2 was never active
+
+
+def test_weighted_requirement_enforced():
+    el = EdgeList.from_pairs([(0, 1)])
+    with pytest.raises(ValueError):
+        BSPReference(el).run(SSSP(source=0))

@@ -1,0 +1,64 @@
+"""Experiment definitions produce paper-shaped reports (small subsets)."""
+
+import pytest
+
+from repro.bench import Harness
+from repro.bench.experiments import (
+    run_fig12_buffering,
+    run_fig9_ablation,
+    run_table1_features,
+    run_table4_fig5,
+)
+
+
+def test_table1_feature_matrix():
+    report = run_table1_features()
+    assert report.experiment_id == "table1"
+    assert len(report.rows) == 6
+    graphsd_row = [r for r in report.rows if r[0] == "graphsd"][0]
+    assert graphsd_row[1:] == ["yes", "yes", "yes"]
+    text = report.render()
+    assert "lumos" in text
+
+
+@pytest.fixture(scope="module")
+def harness():
+    with Harness(P=4) as h:
+        yield h
+
+
+def test_table4_fig5_subset(harness):
+    t4, f5 = run_table4_fig5(
+        harness, datasets=["twitter2010"], algorithms=("sssp",),
+        systems=("graphsd", "husgraph"),
+    )
+    assert len(t4.rows) == 1
+    assert t4.rows[0][0] == "twitter2010"
+    assert t4.rows[0][1] > 0
+    # Fig 5 normalizes to graphsd = 1.0
+    row = f5.rows[0]
+    assert row[0] == "SSSP"
+    assert row[2] == pytest.approx(1.0)
+    assert row[3] >= 1.0  # HUS-Graph not faster than GraphSD on SSSP
+    assert f5.notes
+
+
+def test_fig9_ablation_subset(harness):
+    report = run_fig9_ablation(harness, dataset="twitter2010", algorithms=("sssp",))
+    time_rows = [r for r in report.rows if r[1] == "time (s)"]
+    io_rows = [r for r in report.rows if r[1] == "I/O (MiB)"]
+    assert len(time_rows) == len(io_rows) == 1
+    base, b1, b2 = time_rows[0][2:]
+    assert base <= b1 and base <= b2
+    assert report.data["io_ratios"]["b2"] >= 1.0
+
+
+def test_fig12_buffering_subset(harness):
+    report = run_fig12_buffering(harness, dataset="twitter2010", algorithms=("pr",))
+    assert len(report.rows) == 1
+    with_buf, without = report.rows[0][1], report.rows[0][2]
+    # At P=4 the 5% budget fits no sub-block, so buffering is a no-op:
+    # equal up to float association. With larger P it strictly helps
+    # (covered by the core behaviour tests and the fig12 bench).
+    assert with_buf <= without * (1 + 1e-9)
+    assert report.data["improvements"][0] < 1

@@ -1,0 +1,79 @@
+"""Harness plumbing: workloads, systems, caching, verification."""
+
+import pytest
+
+from repro.bench.harness import Harness, SYSTEMS, WORKLOADS
+
+
+def test_paper_workloads_defined():
+    assert set(WORKLOADS) >= {"pr", "pr-d", "cc", "sssp"}
+    assert WORKLOADS["pr"].params == {"iterations": 5}
+    assert WORKLOADS["pr-d"].params == {"iterations": 20}
+    assert WORKLOADS["cc"].symmetrize
+    assert WORKLOADS["sssp"].weighted
+
+
+def test_paper_systems_defined():
+    assert {"graphsd", "husgraph", "lumos"} <= set(SYSTEMS)
+    assert {"graphsd-b1", "graphsd-b2", "graphsd-b3", "graphsd-b4"} <= set(SYSTEMS)
+    assert SYSTEMS["lumos"].representation == "lumos"
+    assert SYSTEMS["husgraph"].representation == "husgraph"
+
+
+@pytest.fixture(scope="module")
+def harness():
+    with Harness(P=4, verify=True) as h:
+        yield h
+
+
+def test_run_produces_verified_result(harness):
+    result = harness.run("graphsd", "bfs", "twitter2010")
+    assert result.engine == "graphsd"
+    assert result.converged
+    assert result.sim_seconds > 0
+
+
+def test_preprocessing_is_cached_per_representation(harness):
+    store1, prep1 = harness.preprocess("graphsd", "twitter2010", WORKLOADS["bfs"])
+    store2, prep2 = harness.preprocess("graphsd", "twitter2010", WORKLOADS["bfs"])
+    assert store1 is store2
+    assert prep1 is prep2
+    # a different representation builds a different store
+    store3, _ = harness.preprocess("lumos", "twitter2010", WORKLOADS["bfs"])
+    assert store3 is not store1
+    assert not store3.indexed
+
+
+def test_context_cached_per_variant(harness):
+    a = harness.context_for("twitter2010", WORKLOADS["bfs"])
+    b = harness.context_for("twitter2010", WORKLOADS["pr"])
+    assert a is b  # same (unweighted, directed) variant
+    c = harness.context_for("twitter2010", WORKLOADS["cc"])
+    assert c is not a  # symmetrized variant differs
+
+
+def test_runs_share_cached_store(harness):
+    r1 = harness.run("graphsd", "bfs", "twitter2010")
+    r2 = harness.run("graphsd-b1", "bfs", "twitter2010")  # same representation
+    assert r1.num_edges == r2.num_edges
+
+
+def test_unknown_representation_rejected(harness):
+    with pytest.raises(ValueError):
+        harness.preprocess("bogus", "twitter2010", WORKLOADS["bfs"])
+
+
+def test_owned_workspace_cleanup(tmp_path):
+    h = Harness()
+    ws = h.workspace
+    h.preprocess("graphsd", "twitter2010", WORKLOADS["bfs"])
+    assert any(ws.iterdir())
+    h.cleanup()
+    assert not ws.exists()
+
+
+def test_external_workspace_preserved(tmp_path):
+    h = Harness(workspace=tmp_path / "ws")
+    h.preprocess("graphsd", "twitter2010", WORKLOADS["bfs"])
+    h.cleanup()
+    assert (tmp_path / "ws").exists()

@@ -1,0 +1,44 @@
+"""Report rendering helpers."""
+
+import pytest
+
+from repro.bench.reporting import ExperimentReport, format_table, mib, normalize
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [[1, 2.5], [333, 0.001]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].split() == ["a", "bb"]
+    assert set(lines[1]) <= {"-", " "}
+    assert "333" in lines[3]
+
+
+def test_format_table_float_styles():
+    out = format_table(["x"], [[1234.5], [12.345], [0.1234], [0]])
+    assert "1,234" in out or "1,235" in out
+    assert "12.35" in out or "12.34" in out
+    assert "0.1234" in out
+
+
+def test_normalize_against_reference():
+    norm = normalize({"a": 2.0, "b": 4.0}, "a")
+    assert norm == {"a": 1.0, "b": 2.0}
+    assert normalize({"a": 0.0, "b": 4.0}, "a") == {"a": 0.0, "b": 0.0}
+
+
+def test_mib():
+    assert mib(1 << 20) == 1.0
+
+
+def test_report_render_and_markdown():
+    rep = ExperimentReport("fig0", "Demo", ["col1", "col2"])
+    rep.add_row("x", 1.5)
+    rep.add_note("a note")
+    text = rep.render()
+    assert "fig0: Demo" in text
+    assert "note: a note" in text
+    md = rep.to_markdown()
+    assert md.startswith("### fig0")
+    assert "| col1 | col2 |" in md
+    assert "*a note*" in md

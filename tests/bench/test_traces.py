@@ -1,0 +1,44 @@
+"""CSV trace export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.algorithms import SSSP
+from repro.bench.traces import comparison_csv, iteration_rows, iteration_trace_csv
+from repro.core import GraphSDEngine
+from tests.conftest import build_store, random_edgelist
+
+
+@pytest.fixture
+def result(rng, tmp_path):
+    edges = random_edgelist(rng, 200, 1500)
+    store = build_store(edges, tmp_path, P=4, name="trace")
+    return GraphSDEngine(store).run(SSSP(source=0))
+
+
+def test_iteration_rows_cover_every_iteration(result):
+    rows = iteration_rows(result)
+    assert len(rows) == result.iterations
+    assert [r["iteration"] for r in rows] == list(range(1, result.iterations + 1))
+    assert all(r["sim_seconds"] > 0 for r in rows)
+    assert {r["model"] for r in rows} <= {"sciu", "fciu", "fciu2", "full"}
+
+
+def test_iteration_csv_parses_back(result, tmp_path):
+    path = tmp_path / "trace.csv"
+    text = iteration_trace_csv(result, path)
+    assert path.read_text() == text
+    parsed = list(csv.DictReader(io.StringIO(text)))
+    assert len(parsed) == result.iterations
+    assert float(parsed[0]["sim_seconds"]) > 0
+    assert int(parsed[-1]["iteration"]) == result.iterations
+
+
+def test_comparison_csv(result):
+    text = comparison_csv({"run-a": result, "run-b": result})
+    parsed = list(csv.DictReader(io.StringIO(text)))
+    assert [r["label"] for r in parsed] == ["run-a", "run-b"]
+    assert parsed[0]["engine"] == "graphsd"
+    assert float(parsed[0]["sim_seconds"]) == pytest.approx(result.sim_seconds)

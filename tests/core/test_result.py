@@ -1,0 +1,64 @@
+"""RunResult / IterationRecord derived metrics."""
+
+import numpy as np
+
+from repro.core.result import IterationRecord, RunResult
+from repro.storage.iostats import IOStats
+from repro.utils.timers import COMPUTE, IO_READ, IO_WRITE, TimeBreakdown
+
+
+def make_record(iteration, model, sim=1.0, traffic=100):
+    return IterationRecord(
+        iteration=iteration,
+        model=model,
+        frontier_size=10,
+        edges_processed=50,
+        breakdown=TimeBreakdown({IO_READ: sim}),
+        io=IOStats(bytes_read_seq=traffic),
+    )
+
+
+def make_result():
+    return RunResult(
+        engine="graphsd",
+        program="sssp",
+        num_vertices=100,
+        num_edges=500,
+        iterations=2,
+        converged=True,
+        values=np.zeros(100),
+        state={"value": np.zeros(100)},
+        breakdown=TimeBreakdown({IO_READ: 2.0, IO_WRITE: 1.0, COMPUTE: 0.5}),
+        io=IOStats(bytes_read_seq=1000, bytes_written_seq=200),
+        wall_seconds=0.1,
+        per_iteration=[make_record(1, "sciu"), make_record(2, "fciu")],
+    )
+
+
+def test_totals_and_derived_metrics():
+    r = make_result()
+    assert r.sim_seconds == 3.5
+    assert r.io_seconds == 3.0
+    assert r.compute_seconds == 0.5
+    assert r.io_traffic == 1200
+    assert r.frontier_history == [10, 10]
+    assert r.model_history == ["sciu", "fciu"]
+
+
+def test_iteration_record_metrics():
+    rec = make_record(1, "sciu", sim=0.25, traffic=64)
+    assert rec.sim_seconds == 0.25
+    assert rec.io_bytes == 64
+
+
+def test_summary_mentions_key_facts():
+    s = make_result().summary()
+    assert "graphsd/sssp" in s
+    assert "2 iters" in s
+    assert "converged" in s
+
+
+def test_summary_flags_iteration_cap():
+    r = make_result()
+    r.converged = False
+    assert "cap" in r.summary()

@@ -1,0 +1,100 @@
+"""Scalar Algorithm-1/2/3 transliteration: semantics + access patterns."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BFS,
+    ConnectedComponents,
+    PageRank,
+    PageRankDelta,
+    SSSP,
+)
+from repro.baselines import BSPReference
+from repro.core import GraphSDEngine
+from repro.core.scalar_ref import ScalarGraphSD
+from repro.graph import EdgeList
+from tests.conftest import build_store, random_edgelist
+
+MAKERS = [
+    lambda: PageRank(iterations=5),
+    lambda: PageRankDelta(iterations=12),
+    ConnectedComponents,
+    lambda: SSSP(source=0),
+    lambda: BFS(root=0),
+]
+
+
+@pytest.fixture
+def edges(rng):
+    return random_edgelist(rng, 60, 350)
+
+
+@pytest.mark.parametrize("maker", MAKERS)
+def test_scalar_matches_bsp_oracle(edges, maker):
+    ref = BSPReference(edges).run(maker())
+    state, trace, iterations = ScalarGraphSD(edges, P=3).run(maker())
+    assert np.allclose(ref.values, state["value"], equal_nan=True)
+    assert iterations == ref.iterations
+
+
+@pytest.mark.parametrize("maker", MAKERS)
+def test_scalar_matches_vectorized_engine(edges, maker, tmp_path):
+    store = build_store(edges, tmp_path, P=3, name=maker().name)
+    engine_result = GraphSDEngine(store).run(maker())
+    state, _trace, iterations = ScalarGraphSD(edges, P=3).run(maker())
+    assert np.allclose(engine_result.values, state["value"], equal_nan=True)
+
+
+def test_sciu_loads_only_active_vertices(edges):
+    scalar = ScalarGraphSD(edges, P=3)
+    state, trace, _ = scalar.run(SSSP(source=0), force_model="sciu")
+    assert all(m == "sciu" for m in trace.models)
+    # every iteration's selectively-loaded vertex set is within that
+    # iteration's frontier (Algorithm 2 line 7 reads only V_active)
+    degs = scalar.ctx.out_degrees
+    for loaded, frontier_size in zip(trace.selective_vertices, trace.frontiers):
+        assert len(loaded) <= frontier_size
+        assert all(degs[v] > 0 for v in loaded)
+
+
+def test_fciu_first_iteration_reads_all_blocks(edges):
+    scalar = ScalarGraphSD(edges, P=3)
+    _, trace, _ = scalar.run(PageRank(iterations=4), force_model="fciu")
+    every_block = {(i, j) for i in range(3) for j in range(3)}
+    assert trace.models[0] == "fciu"
+    assert trace.full_blocks[0] == every_block
+
+
+def test_fciu_second_iteration_reads_only_lower_triangle(edges):
+    scalar = ScalarGraphSD(edges, P=3)
+    _, trace, _ = scalar.run(PageRank(iterations=4), force_model="fciu")
+    lower = {(i, j) for j in range(3) for i in range(j + 1, 3)}
+    assert trace.models[1] == "fciu2"
+    assert trace.full_blocks[1] == lower
+
+
+def test_cross_disabled_degrades_to_plain_full(edges):
+    scalar = ScalarGraphSD(edges, P=3)
+    scalar.enable_cross = False
+    _, trace, iterations = scalar.run(PageRank(iterations=4), force_model="fciu")
+    assert trace.models == ["full"] * 4
+    every_block = {(i, j) for i in range(3) for j in range(3)}
+    assert all(b == every_block for b in trace.full_blocks)
+
+
+def test_scalar_forced_models_agree(edges):
+    """SCIU-only and FCIU-only executions reach the same fixpoint."""
+    a, _, _ = ScalarGraphSD(edges, P=3).run(SSSP(source=0), force_model="sciu")
+    b, _, _ = ScalarGraphSD(edges, P=3).run(SSSP(source=0), force_model="fciu")
+    assert np.allclose(a["value"], b["value"], equal_nan=True)
+
+
+def test_tiny_chain_walkthrough():
+    """Hand-checkable: BFS on 0->1->2->3 with P=2."""
+    edges = EdgeList.from_pairs([(0, 1), (1, 2), (2, 3)])
+    state, trace, iterations = ScalarGraphSD(edges, P=2).run(
+        BFS(root=0), force_model="sciu"
+    )
+    assert state["value"].tolist() == [0, 1, 2, 3]
+    assert iterations == 4  # incl. the final emptying iteration

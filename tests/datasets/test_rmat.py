@@ -1,0 +1,78 @@
+"""R-MAT generator: determinism, shape, skew."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.rmat import RMATParams, SOCIAL, WEB, kronecker_edges, rmat_edges
+from repro.graph.degree import in_degrees, out_degrees
+
+
+def test_deterministic_for_fixed_seed():
+    a = rmat_edges(10, 8, seed=5)
+    b = rmat_edges(10, 8, seed=5)
+    assert a == b
+    c = rmat_edges(10, 8, seed=6)
+    assert a != c
+
+
+def test_vertex_and_edge_counts():
+    el = rmat_edges(12, 10, seed=1, remove_self_loops=False)
+    assert el.num_vertices == 4096
+    assert el.num_edges == 40960
+
+
+def test_self_loop_removal():
+    el = rmat_edges(10, 8, seed=2, remove_self_loops=True)
+    assert np.all(el.src != el.dst)
+
+
+def test_degree_distribution_is_skewed():
+    el = rmat_edges(13, 16, seed=3)
+    deg = out_degrees(el)
+    # heavy tail: the top 1% of vertices own a large share of edges
+    top = np.sort(deg)[::-1][: max(1, len(deg) // 100)]
+    assert top.sum() > 0.2 * el.num_edges
+    # and the median vertex is far below the mean
+    assert np.median(deg) < deg.mean()
+
+
+def test_unpermuted_hubs_sit_at_low_ids():
+    el = rmat_edges(12, 16, seed=4, permute_ids=False)
+    deg = out_degrees(el)
+    n = el.num_vertices
+    low = deg[: n // 8].sum()
+    high = deg[-n // 8 :].sum()
+    assert low > 4 * high
+
+
+def test_permutation_destroys_id_locality():
+    el = rmat_edges(12, 16, seed=4, permute_ids=True)
+    deg = out_degrees(el)
+    n = el.num_vertices
+    low = deg[: n // 8].sum()
+    high = deg[-n // 8 :].sum()
+    assert low < 3 * high  # roughly balanced after shuffling
+
+
+def test_web_params_are_more_skewed_than_social():
+    social = out_degrees(rmat_edges(12, 16, params=SOCIAL, seed=9))
+    web = out_degrees(rmat_edges(12, 16, params=WEB, seed=9))
+    assert web.max() > social.max()
+
+
+def test_param_validation():
+    with pytest.raises(ValueError):
+        RMATParams(0.5, 0.5, 0.5, 0.5)  # sums to 2
+    with pytest.raises(ValueError):
+        RMATParams(-0.1, 0.5, 0.3, 0.3)
+    with pytest.raises(ValueError):
+        rmat_edges(0, 8)
+    with pytest.raises(ValueError):
+        rmat_edges(4, 0)
+
+
+def test_kronecker_uses_graph500_conventions():
+    el = kronecker_edges(10, 8, seed=11)
+    assert el.num_vertices == 1024
+    # ids permuted: deterministic for a fixed seed
+    assert el == kronecker_edges(10, 8, seed=11)

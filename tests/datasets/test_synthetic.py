@@ -1,0 +1,83 @@
+"""Structured generators with closed-form properties."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    binary_tree,
+    chain,
+    disjoint_cliques,
+    erdos_renyi,
+    grid_2d,
+    ring,
+    star,
+    with_uniform_weights,
+)
+from repro.graph.degree import in_degrees, out_degrees
+
+
+def test_chain_shape():
+    el = chain(5)
+    assert el.num_edges == 4
+    assert el.src.tolist() == [0, 1, 2, 3]
+    assert el.dst.tolist() == [1, 2, 3, 4]
+    bidir = chain(5, bidirectional=True)
+    assert bidir.num_edges == 8
+
+
+def test_ring_in_and_out_degree_one():
+    el = ring(7)
+    assert np.all(out_degrees(el) == 1)
+    assert np.all(in_degrees(el) == 1)
+
+
+def test_star_orientations():
+    out = star(5, outward=True)
+    assert np.all(out.src == 0)
+    inward = star(5, center=2, outward=False)
+    assert np.all(inward.dst == 2)
+    assert 2 not in inward.src
+    with pytest.raises(ValueError):
+        star(5, center=5)
+
+
+def test_grid_2d_edge_count():
+    el = grid_2d(3, 4, bidirectional=False)
+    # horizontal: 3*3, vertical: 2*4
+    assert el.num_edges == 9 + 8
+    assert grid_2d(3, 4).num_edges == 2 * 17
+
+
+def test_binary_tree_structure():
+    el = binary_tree(3)
+    assert el.num_vertices == 15
+    assert el.num_edges == 14
+    assert out_degrees(el)[:7].tolist() == [2] * 7  # internal nodes
+    assert binary_tree(0).num_edges == 0
+
+
+def test_disjoint_cliques_structure():
+    el = disjoint_cliques(3, 4)
+    assert el.num_vertices == 12
+    assert el.num_edges == 3 * 4 * 3
+    # no edge crosses a clique boundary
+    assert np.all(el.src // 4 == el.dst // 4)
+    assert disjoint_cliques(2, 1).num_edges == 0
+
+
+def test_erdos_renyi_counts_and_determinism():
+    a = erdos_renyi(50, 200, seed=1)
+    assert a.num_edges == 200 and a.num_vertices == 50
+    assert a == erdos_renyi(50, 200, seed=1)
+
+
+def test_with_uniform_weights_bounds_and_determinism():
+    el = erdos_renyi(20, 100, seed=2)
+    w = with_uniform_weights(el, low=0.1, high=0.9, seed=3)
+    assert w.has_weights
+    assert w.weights.min() >= 0.1
+    assert w.weights.max() < 0.9
+    again = with_uniform_weights(el, low=0.1, high=0.9, seed=3)
+    assert np.array_equal(w.weights, again.weights)
+    with pytest.raises(ValueError):
+        with_uniform_weights(el, low=-1, high=1)

@@ -1,0 +1,32 @@
+"""Degree computation."""
+
+import numpy as np
+
+from repro.graph.degree import in_degrees, out_degrees
+from repro.graph.edgelist import EdgeList
+
+
+def test_degrees_small_graph():
+    el = EdgeList(4, [0, 0, 1, 3], [1, 2, 2, 3])
+    assert out_degrees(el).tolist() == [2, 1, 0, 1]
+    assert in_degrees(el).tolist() == [0, 1, 2, 1]
+
+
+def test_degrees_empty_graph():
+    el = EdgeList(3, [], [])
+    assert out_degrees(el).tolist() == [0, 0, 0]
+    assert in_degrees(el).tolist() == [0, 0, 0]
+
+
+def test_degree_sums_equal_edge_count(rng):
+    from tests.conftest import random_edgelist
+
+    el = random_edgelist(rng, 100, 700)
+    assert out_degrees(el).sum() == el.num_edges
+    assert in_degrees(el).sum() == el.num_edges
+
+
+def test_parallel_edges_counted_per_occurrence():
+    el = EdgeList(2, [0, 0, 0], [1, 1, 1])
+    assert out_degrees(el)[0] == 3
+    assert in_degrees(el)[1] == 3

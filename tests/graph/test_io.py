@@ -1,0 +1,110 @@
+"""Interchange format loaders/writers."""
+
+import numpy as np
+import pytest
+
+from repro.graph import EdgeList
+from repro.graph.io import (
+    load_binary_pairs,
+    load_matrix_market,
+    save_binary_pairs,
+    save_matrix_market,
+)
+from tests.conftest import random_edgelist
+
+
+def test_binary_roundtrip_unweighted(rng, tmp_path):
+    el = random_edgelist(rng, 100, 700, weighted=False)
+    path = tmp_path / "g.bin"
+    save_binary_pairs(el, path)
+    assert path.stat().st_size == el.num_edges * 8
+    back = load_binary_pairs(path, num_vertices=100)
+    assert back == el
+
+
+def test_binary_roundtrip_weighted(rng, tmp_path):
+    el = random_edgelist(rng, 80, 500, weighted=True)
+    path = tmp_path / "g.bin"
+    save_binary_pairs(el, path)
+    assert path.stat().st_size == el.num_edges * 12
+    back = load_binary_pairs(path, num_vertices=80, weighted=True)
+    assert back == el
+
+
+def test_binary_infers_vertex_count(tmp_path):
+    el = EdgeList.from_pairs([(0, 41), (3, 2)])
+    path = tmp_path / "g.bin"
+    save_binary_pairs(el, path)
+    assert load_binary_pairs(path).num_vertices == 42
+
+
+def test_binary_detects_wrong_record_size(rng, tmp_path):
+    # 33 weighted edges = 396 bytes; 396 is not a multiple of the
+    # 8-byte unweighted record, so the mistaken flag is caught.
+    el = random_edgelist(rng, 20, 33, weighted=True)
+    path = tmp_path / "g.bin"
+    save_binary_pairs(el, path)
+    with pytest.raises(ValueError, match="record size"):
+        load_binary_pairs(path, weighted=False)
+
+
+def test_mtx_roundtrip_weighted(rng, tmp_path):
+    el = random_edgelist(rng, 50, 300, weighted=True)
+    path = tmp_path / "g.mtx"
+    save_matrix_market(el, path, comment="test graph")
+    back = load_matrix_market(path)
+    assert back.num_vertices == 50
+    assert back.num_edges == 300
+    assert np.array_equal(back.src, el.src)
+    assert np.array_equal(back.dst, el.dst)
+    assert np.allclose(back.weights, el.weights, atol=1e-6)
+
+
+def test_mtx_pattern_is_unweighted(tmp_path):
+    el = EdgeList.from_pairs([(0, 1), (1, 2)])
+    path = tmp_path / "g.mtx"
+    save_matrix_market(el, path)
+    assert "pattern" in path.read_text().splitlines()[0]
+    back = load_matrix_market(path)
+    assert not back.has_weights
+    assert back == el
+
+
+def test_mtx_symmetric_expansion(tmp_path):
+    path = tmp_path / "s.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate pattern symmetric\n"
+        "% a comment\n"
+        "3 3 3\n"
+        "2 1\n"
+        "3 2\n"
+        "3 3\n"
+    )
+    el = load_matrix_market(path)
+    pairs = set(zip(el.src.tolist(), el.dst.tolist()))
+    # off-diagonals expand both ways; the diagonal entry stays single
+    assert pairs == {(1, 0), (0, 1), (2, 1), (1, 2), (2, 2)}
+
+
+def test_mtx_rejects_bad_headers(tmp_path):
+    path = tmp_path / "bad.mtx"
+    path.write_text("%%MatrixMarket matrix array real general\n1 1\n1.0\n")
+    with pytest.raises(ValueError, match="coordinate"):
+        load_matrix_market(path)
+    path.write_text("%%MatrixMarket matrix coordinate complex general\n1 1 0\n")
+    with pytest.raises(ValueError, match="field"):
+        load_matrix_market(path)
+    path.write_text("%%MatrixMarket matrix coordinate real general\n2 3 0\n")
+    with pytest.raises(ValueError, match="square"):
+        load_matrix_market(path)
+
+
+def test_mtx_one_based_conversion(tmp_path):
+    path = tmp_path / "o.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 3.5\n"
+    )
+    el = load_matrix_market(path)
+    assert el.src.tolist() == [0]
+    assert el.dst.tolist() == [1]
+    assert el.weights[0] == pytest.approx(3.5)

@@ -1,0 +1,102 @@
+"""Vertex intervals and grid assignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.degree import out_degrees
+from repro.graph.edgelist import EdgeList
+from repro.graph.partition import VertexIntervals, make_intervals
+from tests.conftest import random_edgelist
+
+
+def test_interval_construction_validates():
+    with pytest.raises(ValueError):
+        VertexIntervals(np.array([1, 5]))  # must start at 0
+    with pytest.raises(ValueError):
+        VertexIntervals(np.array([0, 5, 3]))  # non-decreasing
+    with pytest.raises(ValueError):
+        VertexIntervals(np.array([0]))  # at least one interval
+
+
+def test_bounds_sizes_and_ranges():
+    iv = VertexIntervals(np.array([0, 3, 3, 10]))
+    assert iv.P == 3
+    assert iv.num_vertices == 10
+    assert iv.bounds(0) == (0, 3)
+    assert iv.bounds(1) == (3, 3)  # empty interval allowed
+    assert iv.sizes().tolist() == [3, 0, 7]
+    assert iv.as_ranges() == [(0, 3), (3, 3), (3, 10)]
+    with pytest.raises(ValueError):
+        iv.bounds(3)
+
+
+def test_interval_of_vectorized():
+    iv = VertexIntervals(np.array([0, 4, 8]))
+    out = iv.interval_of(np.array([0, 3, 4, 7]))
+    assert out.tolist() == [0, 0, 1, 1]
+    with pytest.raises(ValueError):
+        iv.interval_of(np.array([8]))
+
+
+def test_balanced_vertices_splits_id_space():
+    el = EdgeList(100, [], [])
+    iv = make_intervals(el, 4, mode="balanced_vertices")
+    assert iv.boundaries.tolist() == [0, 25, 50, 75, 100]
+
+
+def test_balanced_edges_evens_edge_load(rng):
+    el = random_edgelist(rng, 500, 5000, weighted=False)
+    iv = make_intervals(el, 5, mode="balanced_edges")
+    degs = out_degrees(el)
+    loads = [degs[lo:hi].sum() for lo, hi in iv.as_ranges()]
+    target = el.num_edges / 5
+    assert all(abs(load - target) < 0.3 * target for load in loads)
+
+
+def test_balanced_edges_handles_hub_vertex():
+    # One vertex owns almost all edges: boundaries must stay monotone.
+    src = np.zeros(1000, dtype=np.int64)
+    dst = np.arange(1000) % 50
+    el = EdgeList(50, src, dst)
+    iv = make_intervals(el, 4)
+    assert iv.P == 4
+    assert iv.num_vertices == 50
+    assert np.all(np.diff(iv.boundaries) >= 0)
+
+
+def test_make_intervals_validation(rng):
+    el = random_edgelist(rng, 10, 20)
+    with pytest.raises(ValueError):
+        make_intervals(el, 0)
+    with pytest.raises(ValueError):
+        make_intervals(el, 2, mode="bogus")
+
+
+def test_equality():
+    a = VertexIntervals(np.array([0, 5, 10]))
+    b = VertexIntervals(np.array([0, 5, 10]))
+    c = VertexIntervals(np.array([0, 4, 10]))
+    assert a == b and a != c
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(1, 300),
+    P=st.integers(1, 12),
+    mode=st.sampled_from(["balanced_vertices", "balanced_edges"]),
+    seed=st.integers(0, 1000),
+)
+def test_intervals_cover_and_interval_of_consistent(n, P, mode, seed):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(0, 4 * n))
+    el = EdgeList(n, rng.integers(0, n, m), rng.integers(0, n, m))
+    iv = make_intervals(el, P, mode=mode)
+    assert iv.P == P
+    assert iv.num_vertices == n
+    ids = np.arange(n)
+    owners = iv.interval_of(ids)
+    for i in range(P):
+        lo, hi = iv.bounds(i)
+        assert np.all(owners[lo:hi] == i)

@@ -1,0 +1,70 @@
+"""Preprocessing pipelines: representations + the Fig. 8 cost ordering."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    preprocess_graphsd,
+    preprocess_husgraph,
+    preprocess_lumos,
+)
+from repro.storage import Device, SimulatedDisk
+from tests.conftest import edge_multiset, random_edgelist
+
+
+@pytest.fixture
+def edges(rng):
+    return random_edgelist(rng, 150, 1200)
+
+
+def _multiset(store):
+    srcs, dsts = [], []
+    for (i, j) in store.iter_blocks_dst_major():
+        b = store.load_block(i, j)
+        srcs.append(b.src)
+        dsts.append(b.dst)
+    return edge_multiset(np.concatenate(srcs), np.concatenate(dsts))
+
+
+def test_graphsd_pipeline_builds_indexed_store(edges, tmp_path):
+    result = preprocess_graphsd(edges, Device(tmp_path / "g", SimulatedDisk()), P=4)
+    assert result.system == "graphsd"
+    assert result.store.indexed
+    assert _multiset(result.store) == edge_multiset(edges.src, edges.dst)
+    assert result.sim_seconds > 0
+    assert result.breakdown.io > 0
+
+
+def test_lumos_pipeline_builds_unindexed_store(edges, tmp_path):
+    result = preprocess_lumos(edges, Device(tmp_path / "l", SimulatedDisk()), P=4)
+    assert not result.store.indexed
+    assert _multiset(result.store) == edge_multiset(edges.src, edges.dst)
+
+
+def test_husgraph_pipeline_builds_two_copies(edges, tmp_path):
+    result = preprocess_husgraph(edges, Device(tmp_path / "h", SimulatedDisk()), P=4)
+    assert len(result.stores) == 2
+    primary, secondary = result.stores
+    assert primary.indexed and secondary.indexed
+    assert _multiset(primary) == edge_multiset(edges.src, edges.dst)
+    # the second copy is the reversed orientation
+    assert _multiset(secondary) == edge_multiset(edges.dst, edges.src)
+
+
+def test_fig8_cost_ordering(edges, tmp_path):
+    """HUS-Graph > GraphSD > Lumos, as in the paper's Fig. 8."""
+    g = preprocess_graphsd(edges, Device(tmp_path / "g", SimulatedDisk()), P=4)
+    l = preprocess_lumos(edges, Device(tmp_path / "l", SimulatedDisk()), P=4)
+    h = preprocess_husgraph(edges, Device(tmp_path / "h", SimulatedDisk()), P=4)
+    assert h.sim_seconds > g.sim_seconds > l.sim_seconds
+
+
+def test_shared_intervals_are_respected(edges, tmp_path):
+    from repro.graph import make_intervals
+
+    iv = make_intervals(edges, 5)
+    result = preprocess_graphsd(
+        edges, Device(tmp_path / "g", SimulatedDisk()), intervals=iv
+    )
+    assert result.store.intervals == iv
+    assert result.intervals == iv

@@ -1,0 +1,62 @@
+"""VertexArrayStore persistence and charging."""
+
+import numpy as np
+import pytest
+
+from repro.graph.vertexdata import VertexArrayStore
+
+
+def test_store_load_roundtrip(device):
+    vs = VertexArrayStore(device, "vals", 10, np.float64)
+    assert not vs.exists
+    data = np.arange(10, dtype=np.float64)
+    vs.store_all(data)
+    assert vs.exists
+    assert np.array_equal(vs.load_all(), data)
+
+
+def test_value_bytes_is_table2_N(device):
+    assert VertexArrayStore(device, "a", 5, np.float64).value_bytes == 8
+    assert VertexArrayStore(device, "b", 5, np.float32).value_bytes == 4
+    assert VertexArrayStore(device, "a2", 5, np.float64).total_bytes == 40
+
+
+def test_length_mismatch_rejected(device):
+    vs = VertexArrayStore(device, "vals", 10, np.float64)
+    with pytest.raises(ValueError):
+        vs.store_all(np.zeros(9))
+
+
+def test_load_before_store_rejected(device):
+    vs = VertexArrayStore(device, "vals", 10, np.float64)
+    with pytest.raises(ValueError):
+        vs.load_all()
+
+
+def test_interval_writeback_and_read(device):
+    vs = VertexArrayStore(device, "vals", 10, np.float64)
+    vs.store_all(np.zeros(10))
+    vs.store_interval(4, np.array([1.0, 2.0]))
+    assert vs.load_all().tolist() == [0, 0, 0, 0, 1, 2, 0, 0, 0, 0]
+    assert vs.load_interval(4, 6).tolist() == [1.0, 2.0]
+
+
+def test_charging_full_cycle(device):
+    disk = device.disk
+    vs = VertexArrayStore(device, "vals", 100, np.float64)
+    before = disk.stats.snapshot()
+    vs.store_all(np.zeros(100))
+    vs.load_all()
+    diff = disk.stats - before
+    assert diff.bytes_written_seq == 800
+    assert diff.bytes_read_seq == 800
+    before = disk.stats.snapshot()
+    vs.store_interval(0, np.zeros(10))
+    assert (disk.stats - before).bytes_written_ran == 80
+
+
+def test_delete(device):
+    vs = VertexArrayStore(device, "vals", 4, np.float32)
+    vs.store_all(np.zeros(4, dtype=np.float32))
+    vs.delete()
+    assert not vs.exists

@@ -1,0 +1,109 @@
+"""Disk/machine profiles and the charging arithmetic."""
+
+import pytest
+
+from repro.storage.disk import (
+    DEFAULT_MACHINE,
+    DiskProfile,
+    HDD_PROFILE,
+    MachineProfile,
+    NVME_PROFILE,
+    PROFILES,
+    SimulatedDisk,
+    SSD_PROFILE,
+    MiB,
+)
+from repro.utils.timers import IO_READ, IO_WRITE
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        DiskProfile("bad", 0, 1, 1, 1)
+    with pytest.raises(ValueError):
+        DiskProfile("bad", 1, 1, 1, 1, request_latency_s=-1)
+
+
+def test_cost_helpers_are_linear_in_bytes():
+    p = DiskProfile("p", seq_read_bw=100.0, seq_write_bw=50.0, ran_read_bw=10.0,
+                    ran_write_bw=5.0, request_latency_s=0.01)
+    assert p.seq_read_time(200) == pytest.approx(2.0 + 0.01)
+    assert p.seq_write_time(200, requests=2) == pytest.approx(4.0 + 0.02)
+    assert p.ran_read_time(20) == pytest.approx(2.0 + 0.01)
+    assert p.ran_write_time(10, requests=0) == pytest.approx(2.0)
+
+
+def test_scaled_profile_multiplies_all_bandwidths():
+    doubled = HDD_PROFILE.scaled(2.0)
+    assert doubled.seq_read_bw == HDD_PROFILE.seq_read_bw * 2
+    assert doubled.ran_write_bw == HDD_PROFILE.ran_write_bw * 2
+    assert doubled.request_latency_s == HDD_PROFILE.request_latency_s
+    with pytest.raises(ValueError):
+        HDD_PROFILE.scaled(0)
+
+
+def test_presets_are_ordered_by_speed():
+    assert HDD_PROFILE.seq_read_bw < SSD_PROFILE.seq_read_bw < NVME_PROFILE.seq_read_bw
+    # The sequential/random gap narrows with newer media.
+    assert (HDD_PROFILE.seq_read_bw / HDD_PROFILE.ran_read_bw) > (
+        SSD_PROFILE.seq_read_bw / SSD_PROFILE.ran_read_bw
+    ) >= (NVME_PROFILE.seq_read_bw / NVME_PROFILE.ran_read_bw)
+    assert set(PROFILES) == {"hdd", "ssd", "nvme"}
+
+
+def test_simulated_disk_charges_clock_and_stats():
+    d = SimulatedDisk(DiskProfile("p", 100.0, 100.0, 10.0, 10.0))
+    d.charge_read_sequential(200, requests=1)
+    d.charge_read_random(20, requests=2)
+    d.charge_write_sequential(100)
+    d.charge_write_random(10)
+    assert d.stats.bytes_read_seq == 200
+    assert d.stats.bytes_read_ran == 20
+    assert d.stats.read_requests == 3
+    assert d.clock.elapsed(IO_READ) == pytest.approx(2.0 + 2.0)
+    assert d.clock.elapsed(IO_WRITE) == pytest.approx(1.0 + 1.0)
+
+
+def test_simulated_disk_rejects_negative():
+    d = SimulatedDisk()
+    with pytest.raises(ValueError):
+        d.charge_read_sequential(-1)
+
+
+def test_cache_accounting():
+    d = SimulatedDisk()
+    d.record_cache_hit(1000)
+    d.record_cache_miss()
+    assert d.stats.cache_hits == 1
+    assert d.stats.cache_misses == 1
+    assert d.stats.bytes_served_from_cache == 1000
+
+
+def test_disk_reset_clears_everything():
+    d = SimulatedDisk()
+    d.charge_read_sequential(100)
+    d.reset()
+    assert d.stats.total_traffic == 0
+    assert d.clock.elapsed() == 0.0
+
+
+def test_machine_profile_compute_rates():
+    m = MachineProfile(edge_update_rate=100.0, vertex_scan_rate=10.0, sched_eval_rate=5.0)
+    assert m.edge_compute_time(200) == pytest.approx(2.0)
+    assert m.vertex_compute_time(5) == pytest.approx(0.5)
+    assert m.sched_eval_time(10) == pytest.approx(2.0)
+    assert m.with_disk(SSD_PROFILE).disk is SSD_PROFILE
+
+
+def test_machine_profile_validation():
+    with pytest.raises(ValueError):
+        MachineProfile(edge_update_rate=0)
+
+
+def test_default_machine_is_hdd_and_io_bound():
+    # One full pass over N edge bytes on disk must be slower than the
+    # modeled compute over those edges — the paper's I/O-bound regime.
+    nbytes = 100 * MiB
+    edges = nbytes / 8
+    io = DEFAULT_MACHINE.disk.seq_read_time(nbytes)
+    compute = DEFAULT_MACHINE.edge_compute_time(edges)
+    assert io > compute

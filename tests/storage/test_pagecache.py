@@ -1,0 +1,154 @@
+"""Simulated OS page cache: LRU semantics + integration with ArrayFile."""
+
+import numpy as np
+import pytest
+
+from repro.storage import Device, SimulatedDisk
+from repro.storage.pagecache import PageCache
+
+
+def test_miss_then_hit():
+    pc = PageCache(capacity_bytes=10 * 4096)
+    assert pc.access("f", 0, 4096) == 4096  # cold miss
+    assert pc.access("f", 0, 4096) == 0  # warm hit
+    assert pc.stats.page_misses == 1
+    assert pc.stats.page_hits == 1
+
+
+def test_page_granularity_amplification():
+    pc = PageCache(capacity_bytes=10 * 4096)
+    # A 10-byte read costs a whole page on miss...
+    assert pc.access("f", 100, 10) == 4096
+    # ...and a read straddling a page boundary costs two.
+    assert pc.access("f", 4090, 12) == 4096  # page 0 hits, page 1 misses
+
+
+def test_lru_eviction_order():
+    pc = PageCache(capacity_bytes=2 * 4096)
+    pc.access("f", 0 * 4096, 1)  # page 0
+    pc.access("f", 1 * 4096, 1)  # page 1
+    pc.access("f", 0 * 4096, 1)  # touch page 0 (now MRU)
+    pc.access("f", 2 * 4096, 1)  # page 2 evicts page 1
+    assert pc.stats.evictions == 1
+    assert pc.access("f", 0 * 4096, 1) == 0  # page 0 survived
+    assert pc.access("f", 1 * 4096, 1) == 4096  # page 1 was the victim
+
+
+def test_capacity_never_exceeded():
+    pc = PageCache(capacity_bytes=3 * 4096)
+    for k in range(20):
+        pc.access("f", k * 4096, 1)
+        assert pc.resident_pages <= 3
+
+
+def test_zero_capacity_always_misses():
+    pc = PageCache(capacity_bytes=0)
+    assert pc.access("f", 0, 4096) == 4096
+    assert pc.access("f", 0, 4096) == 4096
+    assert pc.resident_pages == 0
+
+
+def test_files_are_distinct():
+    pc = PageCache(capacity_bytes=10 * 4096)
+    pc.access("a", 0, 1)
+    assert pc.access("b", 0, 1) == 4096  # different file, different page
+
+
+def test_write_allocate_and_invalidation():
+    pc = PageCache(capacity_bytes=10 * 4096)
+    pc.write("f", 0, 8192)
+    assert pc.access("f", 0, 8192) == 0  # write populated the pages
+    assert pc.invalidate_file("f") == 2
+    assert pc.access("f", 0, 1) == 4096  # cold again
+
+
+def test_zero_length_access_is_free():
+    pc = PageCache(capacity_bytes=4096)
+    assert pc.access("f", 0, 0) == 0
+    assert pc.stats.page_misses == 0
+
+
+# -- integration with the storage layer -----------------------------------
+
+
+@pytest.fixture
+def cached_device(tmp_path):
+    return Device(
+        tmp_path / "dev",
+        SimulatedDisk(),
+        page_cache=PageCache(capacity_bytes=1 << 20),
+    )
+
+
+def test_repeated_scans_stop_hitting_disk(cached_device):
+    f = cached_device.array_file("x.bin", np.int64)
+    data = np.arange(5000, dtype=np.int64)
+    f.write(data)
+    before = cached_device.disk.stats.snapshot()
+    assert np.array_equal(f.read_all(), data)
+    assert np.array_equal(f.read_all(), data)
+    # write-allocate made the file resident; both reads were free.
+    assert (cached_device.disk.stats - before).bytes_read == 0
+
+
+def test_cold_read_after_eviction_charges_disk(tmp_path):
+    dev = Device(
+        tmp_path / "dev",
+        SimulatedDisk(),
+        page_cache=PageCache(capacity_bytes=8 * 4096),
+    )
+    f = dev.array_file("x.bin", np.int8)
+    f.write(np.zeros(100 * 4096, dtype=np.int8))  # far larger than the cache
+    before = dev.disk.stats.snapshot()
+    f.read_all()
+    charged = (dev.disk.stats - before).bytes_read
+    assert charged >= (100 - 8) * 4096  # almost everything missed
+
+
+def test_rewrite_invalidates_stale_pages(cached_device):
+    f = cached_device.array_file("x.bin", np.int64)
+    f.write(np.zeros(100, dtype=np.int64))
+    f.read_all()
+    f.write(np.ones(100, dtype=np.int64))  # replaces contents
+    assert np.array_equal(f.read_all(), np.ones(100, dtype=np.int64))
+
+
+def test_gather_reads_use_cache(cached_device):
+    f = cached_device.array_file("g.bin", np.int64)
+    f.write(np.arange(10000, dtype=np.int64))
+    cached_device.page_cache.clear()
+    before = cached_device.disk.stats.snapshot()
+    out1 = f.read_gather(np.array([0, 5000]), np.array([100, 100]))
+    first = (cached_device.disk.stats - before).bytes_read
+    assert first > 0
+    before = cached_device.disk.stats.snapshot()
+    out2 = f.read_gather(np.array([0, 5000]), np.array([100, 100]))
+    assert (cached_device.disk.stats - before).bytes_read == 0
+    assert np.array_equal(out1, out2)
+
+
+def test_engine_results_unchanged_with_page_cache(rng, tmp_path):
+    """The cache changes timing, never values."""
+    from repro.algorithms import SSSP
+    from repro.baselines import BSPReference
+    from repro.core import GraphSDEngine
+    from repro.graph import GridStore, make_intervals
+    from tests.conftest import random_edgelist
+
+    edges = random_edgelist(rng, 200, 1500)
+    ref = BSPReference(edges).run(SSSP(source=0))
+
+    dev = Device(
+        tmp_path / "cached",
+        SimulatedDisk(),
+        page_cache=PageCache(capacity_bytes=1 << 22),
+    )
+    store = GridStore.build(edges, make_intervals(edges, 4), dev)
+    cached_run = GraphSDEngine(store).run(SSSP(source=0))
+    assert np.allclose(ref.values, cached_run.values, equal_nan=True)
+
+    dev2 = Device(tmp_path / "plain", SimulatedDisk())
+    store2 = GridStore.build(edges, make_intervals(edges, 4), dev2)
+    plain_run = GraphSDEngine(store2).run(SSSP(source=0))
+    # a warm cache can only reduce charged read traffic
+    assert cached_run.io.bytes_read <= plain_run.io.bytes_read

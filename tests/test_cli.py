@@ -1,0 +1,73 @@
+"""CLI front-end."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "twitter2010" in out
+    assert "kron30" in out
+
+
+def test_parser_rejects_unknown_dataset():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--dataset", "nope", "--algorithm", "bfs"])
+
+
+def test_parser_rejects_unknown_algorithm():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["run", "--dataset", "twitter2010", "--algorithm", "apsp"]
+        )
+
+
+def test_run_command_with_trace_and_json(tmp_path, capsys):
+    json_path = tmp_path / "out.json"
+    rc = main(
+        [
+            "run",
+            "--dataset",
+            "twitter2010",
+            "--algorithm",
+            "bfs",
+            "--system",
+            "graphsd",
+            "--trace",
+            "--verify",
+            "--json",
+            str(json_path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "graphsd/bfs" in out
+    assert "frontier" in out  # trace table header
+    payload = json.loads(json_path.read_text())
+    assert payload["engine"] == "graphsd"
+    assert payload["converged"] is True
+    assert payload["iterations"] == len(payload["models"])
+
+
+def test_preprocess_command(tmp_path, capsys):
+    rc = main(
+        [
+            "preprocess",
+            "--dataset",
+            "twitter2010",
+            "--system",
+            "lumos",
+            "--out",
+            str(tmp_path / "rep"),
+            "-P",
+            "4",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "preprocessed twitter2010" in out
+    assert (tmp_path / "rep").exists()

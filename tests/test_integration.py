@@ -1,0 +1,54 @@
+"""End-to-end flows across module boundaries."""
+
+import numpy as np
+
+from repro.algorithms import PageRank, SSSP, make_program
+from repro.baselines import BSPReference
+from repro.core import GraphSDEngine
+from repro.graph import EdgeList, GridStore, make_intervals, preprocess_graphsd
+from repro.storage import Device, SimulatedDisk
+from tests.conftest import random_edgelist
+
+
+def test_text_file_to_results(tmp_path, rng):
+    """Raw edge file -> parse -> preprocess -> reopen -> run -> verify."""
+    edges = random_edgelist(rng, 120, 900)
+    raw = tmp_path / "graph.txt"
+    edges.to_text(raw)
+
+    parsed = EdgeList.from_text(raw)
+    assert parsed == edges
+
+    device = Device(tmp_path / "rep", SimulatedDisk())
+    result = preprocess_graphsd(parsed, device, P=4, prefix="g")
+    assert result.store.indexed
+
+    # Simulate a separate process: reopen the representation from disk.
+    reopened = GridStore.open(Device(tmp_path / "rep", SimulatedDisk()), prefix="g")
+    engine = GraphSDEngine(reopened)
+    run = engine.run(SSSP(source=0))
+
+    expected = BSPReference(parsed).run(SSSP(source=0))
+    assert np.allclose(run.values, expected.values, equal_nan=True)
+
+
+def test_registry_program_runs_on_engine(tmp_path, rng):
+    edges = random_edgelist(rng, 100, 700)
+    device = Device(tmp_path / "rep", SimulatedDisk())
+    store = GridStore.build(edges, make_intervals(edges, 3), device)
+    program = make_program("pr", iterations=3)
+    result = GraphSDEngine(store).run(program)
+    expected = BSPReference(edges).run(PageRank(iterations=3))
+    assert np.allclose(result.values, expected.values)
+
+
+def test_same_store_serves_many_programs(tmp_path, rng):
+    edges = random_edgelist(rng, 150, 1100)
+    device = Device(tmp_path / "rep", SimulatedDisk())
+    store = GridStore.build(edges, make_intervals(edges, 4), device)
+    engine = GraphSDEngine(store)
+    for name in ("pagerank", "pagerank_delta", "cc", "sssp", "bfs"):
+        program = make_program(name)
+        result = engine.run(program)
+        expected = BSPReference(edges).run(make_program(name))
+        assert np.allclose(result.values, expected.values, equal_nan=True), name

@@ -1,0 +1,80 @@
+"""Run coalescing: unit cases + reconstruction property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.runs import merge_runs
+
+
+def test_empty_input():
+    s, c, g = merge_runs(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+    assert s.size == c.size == g.size == 0
+
+
+def test_adjacent_runs_merge():
+    starts = np.array([0, 3, 5])
+    counts = np.array([3, 2, 4])
+    s, c, g = merge_runs(starts, counts)
+    assert s.tolist() == [0]
+    assert c.tolist() == [9]
+    assert g.tolist() == [0, 0, 0]
+
+
+def test_gap_breaks_merge():
+    starts = np.array([0, 10])
+    counts = np.array([3, 2])
+    s, c, g = merge_runs(starts, counts)
+    assert s.tolist() == [0, 10]
+    assert c.tolist() == [3, 2]
+    assert g.tolist() == [0, 1]
+
+
+def test_zero_length_runs_fold_into_neighbours():
+    starts = np.array([0, 3, 3, 3])
+    counts = np.array([3, 0, 0, 4])
+    s, c, g = merge_runs(starts, counts)
+    assert s.tolist() == [0]
+    assert c.tolist() == [7]
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        merge_runs(np.array([0]), np.array([1, 2]))
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    gaps=st.lists(st.integers(0, 5), min_size=1, max_size=30),
+    lens=st.data(),
+)
+def test_merge_preserves_covered_items_in_order(gaps, lens):
+    """Merged runs enumerate exactly the same item positions, in order."""
+    counts = np.array(
+        [lens.draw(st.integers(0, 6)) for _ in gaps], dtype=np.int64
+    )
+    starts = np.zeros(len(gaps), dtype=np.int64)
+    pos = 0
+    for k, gap in enumerate(gaps):
+        pos += gap
+        starts[k] = pos
+        pos += counts[k]
+    m_starts, m_counts, group_ids = merge_runs(starts, counts)
+
+    def expand(ss, cc):
+        out = []
+        for s, c in zip(ss.tolist(), cc.tolist()):
+            out.extend(range(s, s + c))
+        return out
+
+    assert expand(m_starts, m_counts) == expand(starts, counts)
+    assert m_counts.sum() == counts.sum()
+    # merged runs are strictly separated (no two adjacent)
+    ends = m_starts + m_counts
+    assert all(m_starts[k + 1] > ends[k] for k in range(len(m_starts) - 1))
+    # group ids are a valid surjective, monotone mapping
+    if len(group_ids):
+        assert group_ids[0] == 0
+        assert np.all(np.diff(group_ids) >= 0)
+        assert group_ids[-1] == len(m_starts) - 1

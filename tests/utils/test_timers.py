@@ -1,0 +1,87 @@
+"""SimClock / WallTimer / TimeBreakdown behaviour."""
+
+import time
+
+import pytest
+
+from repro.utils.timers import (
+    COMPUTE,
+    IO_READ,
+    IO_WRITE,
+    SCHEDULING,
+    SimClock,
+    TimeBreakdown,
+    WallTimer,
+)
+
+
+def test_clock_accumulates_per_component():
+    c = SimClock()
+    c.charge(IO_READ, 1.5)
+    c.charge(IO_READ, 0.5)
+    c.charge(COMPUTE, 0.25)
+    assert c.elapsed(IO_READ) == pytest.approx(2.0)
+    assert c.elapsed(COMPUTE) == pytest.approx(0.25)
+    assert c.elapsed() == pytest.approx(2.25)
+    assert c.elapsed("missing") == 0.0
+
+
+def test_negative_charge_rejected():
+    with pytest.raises(ValueError):
+        SimClock().charge(IO_READ, -1.0)
+
+
+def test_snapshot_is_independent():
+    c = SimClock()
+    c.charge(IO_READ, 1.0)
+    snap = c.snapshot()
+    c.charge(IO_READ, 1.0)
+    assert snap.components[IO_READ] == pytest.approx(1.0)
+    assert c.elapsed(IO_READ) == pytest.approx(2.0)
+
+
+def test_snapshot_subtraction_gives_phase_times():
+    c = SimClock()
+    c.charge(IO_READ, 1.0)
+    before = c.snapshot()
+    c.charge(IO_READ, 0.5)
+    c.charge(IO_WRITE, 0.25)
+    diff = c.snapshot() - before
+    assert diff.components[IO_READ] == pytest.approx(0.5)
+    assert diff.io == pytest.approx(0.75)
+    assert diff.total == pytest.approx(0.75)
+
+
+def test_breakdown_io_compute_scheduling_properties():
+    b = TimeBreakdown({IO_READ: 1.0, IO_WRITE: 2.0, COMPUTE: 3.0, SCHEDULING: 0.5})
+    assert b.io == pytest.approx(3.0)
+    assert b.compute == pytest.approx(3.0)
+    assert b.scheduling == pytest.approx(0.5)
+    assert b.total == pytest.approx(6.5)
+
+
+def test_clock_merge_and_reset():
+    a, b = SimClock(), SimClock()
+    a.charge(IO_READ, 1.0)
+    b.charge(IO_READ, 2.0)
+    b.charge(COMPUTE, 1.0)
+    a.merge(b)
+    assert a.elapsed(IO_READ) == pytest.approx(3.0)
+    assert a.elapsed() == pytest.approx(4.0)
+    a.reset()
+    assert a.elapsed() == 0.0
+
+
+def test_walltimer_measures_elapsed_time():
+    with WallTimer() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.01
+
+
+def test_walltimer_misuse_raises():
+    t = WallTimer()
+    with pytest.raises(RuntimeError):
+        t.stop()
+    t.start()
+    with pytest.raises(RuntimeError):
+        t.start()

@@ -1,0 +1,57 @@
+"""Validation helper contracts."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_dtype,
+    check_in_range,
+    check_nonneg,
+    check_positive,
+    check_same_length,
+    require,
+)
+
+
+def test_require_passes_and_fails():
+    require(True, "fine")
+    with pytest.raises(ValueError, match="broken"):
+        require(False, "broken")
+
+
+@pytest.mark.parametrize("value", [1, 0.001, 1e9])
+def test_check_positive_accepts(value):
+    check_positive(value, "x")
+
+
+@pytest.mark.parametrize("value", [0, -1, -0.5])
+def test_check_positive_rejects(value):
+    with pytest.raises(ValueError, match="x"):
+        check_positive(value, "x")
+
+
+def test_check_nonneg():
+    check_nonneg(0, "x")
+    check_nonneg(5, "x")
+    with pytest.raises(ValueError):
+        check_nonneg(-1e-9, "x")
+
+
+def test_check_in_range():
+    check_in_range(0.5, 0, 1, "d")
+    check_in_range(0, 0, 1, "d")
+    check_in_range(1, 0, 1, "d")
+    with pytest.raises(ValueError):
+        check_in_range(1.01, 0, 1, "d")
+
+
+def test_check_same_length():
+    check_same_length("a", [1, 2], "b", [3, 4])
+    with pytest.raises(ValueError, match="a and b"):
+        check_same_length("a", [1], "b", [3, 4])
+
+
+def test_check_dtype():
+    check_dtype(np.zeros(3, dtype=np.float32), np.float32, "arr")
+    with pytest.raises(TypeError, match="arr"):
+        check_dtype(np.zeros(3, dtype=np.float64), np.float32, "arr")
