@@ -138,6 +138,7 @@ class Harness:
         machine: MachineProfile = DEFAULT_MACHINE,
         P: int = 8,
         verify: bool = False,
+        checksums: bool = False,
     ) -> None:
         if workspace is None:
             self._tmpdir = tempfile.mkdtemp(prefix="graphsd-bench-")
@@ -150,6 +151,7 @@ class Harness:
         self.machine = machine
         self.P = P
         self.verify = verify
+        self.checksums = checksums
         self._stores: Dict[Tuple, Tuple[GridStore, PreprocessResult]] = {}
         self._edges: Dict[Tuple, EdgeList] = {}
         self._contexts: Dict[Tuple, GraphContext] = {}
@@ -191,6 +193,7 @@ class Harness:
             device = Device(
                 self.workspace / representation / tag,
                 SimulatedDisk(self.machine.disk),
+                checksums=self.checksums,
             )
             result = _PREPROCESSORS[representation](
                 edges, device, P=self.P, machine=self.machine

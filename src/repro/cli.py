@@ -38,7 +38,7 @@ from repro.bench import (
 from repro.bench.reporting import format_table
 from repro.datasets import list_datasets, load_dataset, table3_rows
 from repro.graph import preprocess_graphsd, preprocess_husgraph, preprocess_lumos
-from repro.storage import Device
+from repro.storage import ChecksumError, Device, FaultError
 
 
 def _cmd_datasets(_args: argparse.Namespace) -> int:
@@ -50,7 +50,7 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
 
 def _cmd_preprocess(args: argparse.Namespace) -> int:
     edges = load_dataset(args.dataset, weighted=args.weighted, symmetrize=args.symmetrize)
-    device = Device(args.out)
+    device = Device(args.out, checksums=args.checksums)
     pipeline = {
         "graphsd": preprocess_graphsd,
         "husgraph": preprocess_husgraph,
@@ -67,7 +67,12 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    harness = Harness(workspace=args.workspace, P=args.partitions, verify=args.verify)
+    harness = Harness(
+        workspace=args.workspace,
+        P=args.partitions,
+        verify=args.verify,
+        checksums=args.checksums,
+    )
     try:
         result = harness.run(args.system, args.algorithm, args.dataset)
     finally:
@@ -171,6 +176,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-P", "--partitions", type=int, default=8)
     p.add_argument("--weighted", action="store_true")
     p.add_argument("--symmetrize", action="store_true")
+    p.add_argument(
+        "--checksums",
+        action="store_true",
+        help="maintain CRC32 sidecars for every column file (see docs/ROBUSTNESS.md)",
+    )
     p.set_defaults(func=_cmd_preprocess)
 
     p = sub.add_parser("run", help="run one algorithm / dataset / system")
@@ -183,6 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true", help="check against the BSP oracle")
     p.add_argument("--json", default=None, help="write a JSON result file")
     p.add_argument("--csv", default=None, help="write a per-iteration CSV trace")
+    p.add_argument(
+        "--checksums",
+        action="store_true",
+        help="verify CRC32 sidecars on every read (detects on-disk corruption)",
+    )
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser(
@@ -206,7 +221,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ChecksumError, FaultError, OSError, ValueError) as exc:
+        # A missing/corrupt graph directory or a detected storage fault
+        # is an operational error, not a bug: report it readably and
+        # exit nonzero instead of dumping a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

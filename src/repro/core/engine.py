@@ -45,6 +45,7 @@ from repro.core.scheduler import (
 )
 from repro.core.sciu import run_sciu_round
 from repro.graph.grid import EdgeBlock, GridStore
+from repro.storage.faults import GatherFault
 from repro.storage.disk import MachineProfile, DEFAULT_MACHINE
 from repro.utils.bitset import VertexSubset
 from repro.utils.timers import COMPUTE, SCHEDULING
@@ -246,5 +247,18 @@ class GraphSDEngine(EngineBase):
     def _run_round(self) -> VertexSubset:
         model = self.select_model()
         if model is IOModel.ON_DEMAND:
-            return run_sciu_round(self)
+            try:
+                return run_sciu_round(self)
+            except GatherFault as exc:
+                # Graceful degradation: an unrecoverable fault during an
+                # on-demand gather (retry budget exhausted) aborts the
+                # selective round — the carried accumulator has been
+                # rolled back, so the iteration can be re-run with the
+                # full streaming model, which re-reads everything and
+                # depends on no partial gather state.
+                self.record_fault_event(
+                    f"iteration {self._iterations_done + 1}: on-demand gather "
+                    f"failed ({exc}); degraded to full streaming"
+                )
+                return run_fciu_round(self)
         return run_fciu_round(self)

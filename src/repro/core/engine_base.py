@@ -68,6 +68,7 @@ class EngineBase:
         self._records: List[IterationRecord] = []
         self._iterations_done = 0
         self._iteration_cap = 0
+        self._fault_events: List[str] = []
 
     # -- context ---------------------------------------------------------
 
@@ -248,6 +249,18 @@ class EngineBase:
         iteration and :meth:`_store_state` after each iteration's applies."""
         raise NotImplementedError
 
+    # -- fault handling -----------------------------------------------------
+
+    def _crash_point(self, name: str) -> None:
+        """Poll the fault injector's named crash point (no-op without one)."""
+        inj = self.disk.injector
+        if inj is not None:
+            inj.crash_point(name)
+
+    def record_fault_event(self, message: str) -> None:
+        """Log a fault the run absorbed (reported in ``RunResult.fault_events``)."""
+        self._fault_events.append(message)
+
     # -- checkpoint hooks (engine-specific control state) --------------------
 
     def _checkpoint_extra_arrays(self) -> "Dict[str, np.ndarray]":
@@ -262,6 +275,10 @@ class EngineBase:
 
         base = f"{self.store.prefix}.{self.engine_name}.{self.program.name}.{tag}"
         return CheckpointManager(self.device, base)
+
+    def _graph_fingerprint(self) -> Tuple[int, int, int]:
+        """Identity of the graph a checkpoint belongs to."""
+        return (self.ctx.num_vertices, self.ctx.num_edges, self.store.P)
 
     def run(
         self,
@@ -290,6 +307,7 @@ class EngineBase:
         self.frontier = program.initial_frontier(self.ctx)
         self._records = []
         self._iterations_done = 0
+        self._fault_events = []
 
         caps = [c for c in (program.max_iterations, max_iterations) if c is not None]
         self._iteration_cap = min(caps) if caps else self.ctx.num_vertices + 1
@@ -301,15 +319,22 @@ class EngineBase:
 
         manager = self._checkpoint_manager(checkpoint_tag) if checkpoint_tag else None
         resuming = resume and manager is not None and manager.exists
-        # On resume the value files already hold the checkpointed state;
-        # writing the freshly initialized arrays would clobber it.
+        # On resume the checkpoint snapshot (not the live value files,
+        # which may have run ahead before the crash) is authoritative.
         self._init_value_stores(store_initial=not resuming)
         self._setup_run()
 
         if resuming:
-            meta = manager.load_meta(program.name)
+            meta = manager.load_meta(program.name, fingerprint=self._graph_fingerprint())
             self._iterations_done = meta.iterations_done
-            self._load_state()  # value files already hold the checkpointed state
+            if meta.state_arrays:
+                for name in self.state:
+                    self.state[name] = manager.load_state(
+                        name, self.ctx.num_vertices, self.state[name].dtype
+                    )
+            else:  # pre-snapshot checkpoint layout: trust the live files
+                self._load_state()
+            self._store_state()  # resync the live value files to the snapshot
             self.frontier = manager.load_frontier(self.ctx.num_vertices)
             self._restore_extra_arrays(manager)
 
@@ -322,14 +347,17 @@ class EngineBase:
                 break
             self._load_state()
             self.frontier = self._run_round()
+            self._crash_point("post-apply")
             if manager is not None:
                 manager.write(
                     program.name,
                     self._iterations_done,
                     self.frontier,
-                    {name: vs.name for name, vs in self._value_stores.items()},
-                    self._checkpoint_extra_arrays(),
+                    state_arrays=dict(self.state),
+                    extra_arrays=self._checkpoint_extra_arrays(),
+                    fingerprint=self._graph_fingerprint(),
                 )
+                self._crash_point("after-checkpoint")
 
         wall.stop()
         values = self.program.result(self.state).copy()
@@ -346,6 +374,7 @@ class EngineBase:
             io=self.disk.stats - run_stats_before,
             wall_seconds=wall.elapsed,
             per_iteration=list(self._records),
+            fault_events=list(self._fault_events),
         )
         if manager is not None and converged:
             manager.discard()

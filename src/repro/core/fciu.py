@@ -111,6 +111,7 @@ def run_fciu_round(engine) -> VertexSubset:
     for j in range(P):
         diag_block = None
         for i, block, from_cache in _load_column_buffered(engine, j, 0):
+            engine._crash_point("mid-scatter")
             contrib, edge_mask = engine.gather_block(prev, block, gate_mask=gate)
             engine.combine_block(acc, touched, block, contrib, edge_mask)
             edges1 += block.count
@@ -185,6 +186,7 @@ def run_fciu_round(engine) -> VertexSubset:
     edges2 = 0
     for j in range(P):
         for i, block, _from_cache in _load_column_buffered(engine, j, j + 1):
+            engine._crash_point("mid-scatter")
             contrib, edge_mask = engine.gather_block(prev2, block, gate_mask=gate2)
             engine.combine_block(acc2, touched2, block, contrib, edge_mask)
             edges2 += block.count

@@ -55,6 +55,9 @@ class RunResult:
     io: IOStats
     wall_seconds: float
     per_iteration: List[IterationRecord] = field(default_factory=list)
+    #: Faults the run absorbed (retry exhaustion fallbacks, degradations);
+    #: empty on a clean run.
+    fault_events: List[str] = field(default_factory=list)
 
     @property
     def sim_seconds(self) -> float:

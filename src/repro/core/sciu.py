@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.scheduler import INDEX_GATHER, INDEX_SPAN
 from repro.graph.grid import EdgeBlock
+from repro.storage.faults import FaultError, GatherFault
 from repro.utils.bitset import VertexSubset
 
 
@@ -47,47 +48,63 @@ def run_sciu_round(engine) -> VertexSubset:
     prev = program.copy_state(engine.state)
     acc, touched = engine.take_carried_accumulator()
 
-    index_plan = engine.scheduler.plan_index_access(frontier)
-    active_per_row = index_plan.active_per_row
+    # The carried accumulator is mutated in place during the scatter
+    # loop. If an unrecoverable fault aborts the round mid-scatter, the
+    # engine falls back to full streaming for this iteration — which
+    # must re-start from the *pre-round* carried contributions, so keep
+    # restorable copies (only when faults can actually occur).
+    if engine.disk.injector is not None:
+        carried_backup = (acc.copy(), touched.copy())
+    else:
+        carried_backup = None
 
-    retained: List[EdgeBlock] = []
-    edges_processed = 0
-    for i in range(store.P):
-        if active_per_row[i] == 0:
-            continue
-        lo, hi = intervals.bounds(i)
-        ids = frontier.interval_indices(lo, hi)
-        local = ids - lo
-        for j in range(store.P):
-            if store.block_edge_count(i, j) == 0:
+    try:
+        index_plan = engine.scheduler.plan_index_access(frontier)
+        active_per_row = index_plan.active_per_row
+
+        retained: List[EdgeBlock] = []
+        edges_processed = 0
+        for i in range(store.P):
+            if active_per_row[i] == 0:
                 continue
-            buffered = engine.selective_from_buffer(i, j, ids)
-            if buffered is not None:
-                if buffered.count:
-                    contrib, edge_mask = engine.gather_block(prev, buffered)
-                    engine.combine_block(acc, touched, buffered, contrib, edge_mask)
-                    retained.append(buffered)
-                    edges_processed += buffered.count
-                continue
-            mode = int(index_plan.mode[i])
-            if mode == INDEX_GATHER:
-                pairs = store.read_index_entries(i, j, local)
-            elif mode == INDEX_SPAN:
-                lo_l = int(index_plan.lo_local[i])
-                hi_l = int(index_plan.hi_local[i])
-                offsets = store.read_index_span(i, j, lo_l, hi_l + 1)
-                rel = local - lo_l
-                pairs = np.stack([offsets[rel], offsets[rel + 1]], axis=1)
-            else:
-                offsets = store.read_block_index(i, j)
-                pairs = np.stack([offsets[local], offsets[local + 1]], axis=1)
-            block = engine.load_selective(i, j, ids, pairs)
-            if block.count == 0:
-                continue
-            contrib, edge_mask = engine.gather_block(prev, block)
-            engine.combine_block(acc, touched, block, contrib, edge_mask)
-            retained.append(block)
-            edges_processed += block.count
+            lo, hi = intervals.bounds(i)
+            ids = frontier.interval_indices(lo, hi)
+            local = ids - lo
+            for j in range(store.P):
+                if store.block_edge_count(i, j) == 0:
+                    continue
+                engine._crash_point("mid-scatter")
+                buffered = engine.selective_from_buffer(i, j, ids)
+                if buffered is not None:
+                    if buffered.count:
+                        contrib, edge_mask = engine.gather_block(prev, buffered)
+                        engine.combine_block(acc, touched, buffered, contrib, edge_mask)
+                        retained.append(buffered)
+                        edges_processed += buffered.count
+                    continue
+                mode = int(index_plan.mode[i])
+                if mode == INDEX_GATHER:
+                    pairs = store.read_index_entries(i, j, local)
+                elif mode == INDEX_SPAN:
+                    lo_l = int(index_plan.lo_local[i])
+                    hi_l = int(index_plan.hi_local[i])
+                    offsets = store.read_index_span(i, j, lo_l, hi_l + 1)
+                    rel = local - lo_l
+                    pairs = np.stack([offsets[rel], offsets[rel + 1]], axis=1)
+                else:
+                    offsets = store.read_block_index(i, j)
+                    pairs = np.stack([offsets[local], offsets[local + 1]], axis=1)
+                block = engine.load_selective(i, j, ids, pairs)
+                if block.count == 0:
+                    continue
+                contrib, edge_mask = engine.gather_block(prev, block)
+                engine.combine_block(acc, touched, block, contrib, edge_mask)
+                retained.append(block)
+                edges_processed += block.count
+    except FaultError as exc:
+        if carried_backup is not None:
+            engine.acc_next, engine.touched_next = carried_backup
+        raise GatherFault(f"sciu gather aborted: {exc}") from exc
 
     activated_mask = np.zeros(n, dtype=bool)
     n_activated = 0

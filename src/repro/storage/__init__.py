@@ -24,11 +24,31 @@ from repro.storage.disk import (
     NVME_PROFILE,
     DEFAULT_MACHINE,
 )
+from repro.storage.faults import (
+    ChecksumError,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    GatherFault,
+    SimulatedCrash,
+    TransientIOError,
+    flip_bit,
+)
 from repro.storage.iostats import IOStats
 from repro.storage.pagecache import PageCache, PageCacheStats
 from repro.storage.blockfile import ArrayFile, Device
 
 __all__ = [
+    "ChecksumError",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "GatherFault",
+    "SimulatedCrash",
+    "TransientIOError",
+    "flip_bit",
     "DiskProfile",
     "MachineProfile",
     "SimulatedDisk",

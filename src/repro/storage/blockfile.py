@@ -16,21 +16,49 @@ Design notes
   Python-level per-run loop — and charge each run as one request,
   split into sequential/random classes by the caller-provided mask
   (the scheduler's ``S_seq``/``S_ran`` split, §4.1 of the paper).
+
+Robustness (see ``docs/ROBUSTNESS.md``)
+---------------------------------------
+* With ``checksums=True`` every file keeps a JSON sidecar
+  (``<name>.crc``) of per-64 KiB-chunk CRC32s, maintained on every
+  write and verified on every read path; a mismatch (bit rot, torn
+  write) raises :class:`~repro.storage.faults.ChecksumError` rather than
+  returning silently wrong data. Verification is modeled as inline with
+  the transfer, so it adds no charged traffic.
+* When a :class:`~repro.storage.faults.FaultInjector` is attached to the
+  disk, every operation polls it. Transient faults are absorbed by a
+  bounded retry loop with exponential backoff (charged to the simulated
+  clock, counted in ``IOStats.read_retries``/``write_retries``); torn
+  writes persist a prefix of the payload and die with
+  :class:`~repro.storage.faults.SimulatedCrash`.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import zlib
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
 from repro.storage.disk import SimulatedDisk
+from repro.storage.faults import ChecksumError, SimulatedCrash, TransientIOError
 from repro.storage.pagecache import PageCache
 from repro.utils.validation import require
 
 PathLike = Union[str, os.PathLike]
+
+#: Granularity of the CRC32 sidecar: one checksum per 64 KiB chunk, so
+#: slice/gather reads verify only the chunks they touch.
+CRC_CHUNK_BYTES = 1 << 16
+CRC_SUFFIX = ".crc"
+
+#: Transient faults absorbed per operation before giving up.
+MAX_IO_RETRIES = 4
+#: Backoff before retry k is ``BASE * 2**(k-1)`` modeled seconds.
+RETRY_BACKOFF_BASE_S = 1e-3
 
 
 class ArrayFile:
@@ -46,13 +74,17 @@ class ArrayFile:
         dtype: np.dtype,
         disk: SimulatedDisk,
         cache: Optional[PageCache] = None,
+        checksums: bool = False,
     ) -> None:
         self.path = Path(path)
         self.dtype = np.dtype(dtype)
         self.disk = disk
         self.cache = cache
+        self.checksums = checksums
         self._itemsize = self.dtype.itemsize
         self._mmap: Optional[np.memmap] = None
+        self._crc_table: Optional[dict] = None
+        self._crc_loaded = False
 
     # -- charging through the (optional) simulated page cache ---------------
 
@@ -79,6 +111,153 @@ class ArrayFile:
             self.disk.charge_write_sequential(nbytes, requests=requests)
         else:
             self.disk.charge_write_random(nbytes, requests=requests)
+
+    # -- fault injection hooks ----------------------------------------------
+
+    def _maybe_fault(self, write: bool) -> None:
+        """Poll the injector; absorb transient faults with bounded retry.
+
+        Each absorbed fault charges exponential backoff to the simulated
+        clock and a retry to :class:`IOStats`; exhausting the budget
+        re-raises as an unrecoverable :class:`TransientIOError`.
+        """
+        inj = self.disk.injector
+        if inj is None:
+            return
+        poll = inj.fault_write if write else inj.fault_read
+        attempt = 0
+        while poll(self.path.name):
+            self.disk.stats.faults_injected += 1
+            if attempt >= MAX_IO_RETRIES:
+                kind = "write" if write else "read"
+                raise TransientIOError(
+                    f"transient {kind} fault on {self.path.name} persisted "
+                    f"after {attempt} retries"
+                )
+            attempt += 1
+            if write:
+                self.disk.stats.write_retries += 1
+            else:
+                self.disk.stats.read_retries += 1
+            self.disk.charge_retry_backoff(
+                RETRY_BACKOFF_BASE_S * (2 ** (attempt - 1)), write=write
+            )
+
+    def _maybe_torn_write(self, data: np.ndarray, offset_bytes: int, mode: str) -> None:
+        """If the injector schedules a torn write here, persist a prefix
+        of ``data`` exactly as a power loss mid-``write(2)`` would, then
+        die with :class:`SimulatedCrash`. The checksum sidecar is *not*
+        updated — the next read detects the tear."""
+        inj = self.disk.injector
+        if inj is None:
+            return
+        fraction = inj.torn_write(self.path.name)
+        if fraction is None:
+            return
+        payload = data.tobytes()
+        torn = payload[: int(len(payload) * fraction)]
+        if mode == "append":
+            with open(self.path, "ab") as f:
+                f.write(torn)
+        elif mode == "replace":
+            with open(self.path, "wb") as f:
+                f.write(torn)
+        else:  # in-place slice overwrite
+            with open(self.path, "r+b") as f:
+                f.seek(offset_bytes)
+                f.write(torn)
+        self.disk.stats.faults_injected += 1
+        self._charge_write(offset_bytes, len(torn), sequential=(mode != "slice"))
+        raise SimulatedCrash(f"torn write to {self.path.name}")
+
+    # -- checksum sidecar ----------------------------------------------------
+
+    @property
+    def _crc_path(self) -> Path:
+        return self.path.with_name(self.path.name + CRC_SUFFIX)
+
+    def _crc_load(self) -> Optional[dict]:
+        """The sidecar table, or None when the file has none (unverified)."""
+        if not self._crc_loaded:
+            self._crc_loaded = True
+            if self._crc_path.exists():
+                try:
+                    table = json.loads(self._crc_path.read_text())
+                    require(
+                        isinstance(table.get("chunks"), list)
+                        and "nbytes" in table
+                        and "chunk_bytes" in table,
+                        "malformed table",
+                    )
+                    self._crc_table = table
+                except (ValueError, OSError) as exc:
+                    raise ChecksumError(
+                        f"unreadable checksum sidecar for {self.path.name}: {exc}"
+                    ) from exc
+        return self._crc_table
+
+    def _crc_update_range(self, offset_bytes: int, nbytes: int) -> None:
+        """Recompute the CRC chunks covering ``[offset, offset+nbytes)``
+        from the file (plus any chunks a size change added or removed)."""
+        if not self.checksums:
+            return
+        table = self._crc_load()
+        if table is None:
+            # First checksummed write to this file: cover it entirely so
+            # pre-existing chunks are never left unverifiable.
+            table = {"chunk_bytes": CRC_CHUNK_BYTES, "nbytes": 0, "chunks": []}
+            offset_bytes, nbytes = 0, self.nbytes
+        chunk_bytes = int(table["chunk_bytes"])
+        size = self.nbytes
+        total_chunks = (size + chunk_bytes - 1) // chunk_bytes
+        chunks: List[int] = list(table["chunks"])[:total_chunks]
+        chunks.extend(0 for _ in range(total_chunks - len(chunks)))
+        first = offset_bytes // chunk_bytes
+        last_excl = total_chunks
+        if int(table["nbytes"]) == size and nbytes > 0:
+            # Size unchanged (in-place overwrite): only touched chunks.
+            last_excl = min(total_chunks, (offset_bytes + nbytes - 1) // chunk_bytes + 1)
+        if size:
+            with open(self.path, "rb") as f:
+                for k in range(first, last_excl):
+                    f.seek(k * chunk_bytes)
+                    chunks[k] = zlib.crc32(f.read(chunk_bytes))
+        table.update(nbytes=size, chunks=chunks)
+        self._crc_table = table
+        self._crc_path.write_text(json.dumps(table))
+
+    def _verify_chunks(self, chunk_indices) -> None:
+        table = self._crc_load()
+        if table is None:
+            return
+        size = self.nbytes
+        if int(table["nbytes"]) != size:
+            raise ChecksumError(
+                f"{self.path.name}: on-disk size {size} does not match the "
+                f"recorded {table['nbytes']} bytes (torn or lost write)"
+            )
+        chunk_bytes = int(table["chunk_bytes"])
+        chunks = table["chunks"]
+        with open(self.path, "rb") as f:
+            for k in sorted(set(int(k) for k in chunk_indices)):
+                f.seek(k * chunk_bytes)
+                if zlib.crc32(f.read(chunk_bytes)) != chunks[k]:
+                    raise ChecksumError(
+                        f"{self.path.name}: CRC32 mismatch in chunk {k} "
+                        f"(bytes {k * chunk_bytes}..{min(size, (k + 1) * chunk_bytes)})"
+                    )
+
+    def _verify_range(self, offset_bytes: int, nbytes: int) -> None:
+        """Verify the CRC chunks covering one contiguous read."""
+        if not self.checksums or nbytes <= 0:
+            return
+        table = self._crc_load()
+        if table is None:
+            return
+        chunk_bytes = int(table["chunk_bytes"])
+        first = offset_bytes // chunk_bytes
+        last = (offset_bytes + nbytes - 1) // chunk_bytes
+        self._verify_chunks(range(first, last + 1))
 
     # -- metadata ------------------------------------------------------
 
@@ -107,17 +286,23 @@ class ArrayFile:
         self._invalidate_mmap()
         if self.cache is not None:
             self.cache.invalidate_file(self.path.name)  # contents replaced
+        self._maybe_fault(write=True)
+        self._maybe_torn_write(data, 0, mode="replace")
         data.tofile(self.path)
         self._charge_write(0, data.nbytes, sequential=True)
+        self._crc_update_range(0, data.nbytes)
 
     def append(self, array: np.ndarray) -> None:
         """Append ``array`` at the end of the file (sequential write)."""
         data = np.ascontiguousarray(array, dtype=self.dtype)
         self._invalidate_mmap()
         offset = self.nbytes
+        self._maybe_fault(write=True)
+        self._maybe_torn_write(data, offset, mode="append")
         with open(self.path, "ab") as f:
             data.tofile(f)
         self._charge_write(offset, data.nbytes, sequential=True)
+        self._crc_update_range(offset, data.nbytes)
 
     def overwrite_slice(self, start_item: int, array: np.ndarray, random: bool = True) -> None:
         """Overwrite ``len(array)`` items starting at ``start_item``.
@@ -132,15 +317,21 @@ class ArrayFile:
             "overwrite_slice beyond end of file",
         )
         self._invalidate_mmap()
+        offset = start_item * self._itemsize
+        self._maybe_fault(write=True)
+        self._maybe_torn_write(data, offset, mode="slice")
         with open(self.path, "r+b") as f:
-            f.seek(start_item * self._itemsize)
+            f.seek(offset)
             data.tofile(f)
-        self._charge_write(start_item * self._itemsize, data.nbytes, sequential=not random)
+        self._charge_write(offset, data.nbytes, sequential=not random)
+        self._crc_update_range(offset, data.nbytes)
 
     # -- reads -----------------------------------------------------------
 
     def read_all(self) -> np.ndarray:
         """Read the entire file as one sequential scan."""
+        self._maybe_fault(write=False)
+        self._verify_range(0, self.nbytes)
         data = np.fromfile(self.path, dtype=self.dtype)
         self._charge_read(0, data.nbytes, sequential=True)
         return data
@@ -151,6 +342,8 @@ class ArrayFile:
         if count == 0:
             return np.empty(0, dtype=self.dtype)
         require(start_item + count <= self.item_count, "read_slice beyond end of file")
+        self._maybe_fault(write=False)
+        self._verify_range(start_item * self._itemsize, count * self._itemsize)
         data = np.fromfile(
             self.path, dtype=self.dtype, count=count, offset=start_item * self._itemsize
         )
@@ -182,6 +375,16 @@ class ArrayFile:
         total = int(counts.sum())
         if total == 0:
             return np.empty(0, dtype=self.dtype)
+
+        self._maybe_fault(write=False)
+        if self.checksums and self._crc_load() is not None:
+            chunk_bytes = int(self._crc_table["chunk_bytes"])
+            touched = set()
+            for k in np.flatnonzero(counts > 0):
+                lo = int(starts[k]) * self._itemsize
+                hi = lo + int(counts[k]) * self._itemsize - 1
+                touched.update(range(lo // chunk_bytes, hi // chunk_bytes + 1))
+            self._verify_chunks(touched)
 
         # Vectorized multi-run gather: positions[r] enumerates each run's
         # item indices back to back, then one fancy-index on the memmap.
@@ -222,8 +425,15 @@ class ArrayFile:
 
     def delete(self) -> None:
         self._invalidate_mmap()
+        if self.cache is not None:
+            # A later file of the same name must not inherit these pages.
+            self.cache.invalidate_file(self.path.name)
         if self.exists:
             self.path.unlink()
+        if self._crc_path.exists():
+            self._crc_path.unlink()
+        self._crc_table = None
+        self._crc_loaded = False
 
     def _get_mmap(self) -> np.memmap:
         if self._mmap is None or self._mmap.shape[0] != self.item_count:
@@ -242,7 +452,8 @@ class Device:
 
     Acts as the 'volume' a graph's on-disk representation lives on; all
     files created through one device share its :class:`SimulatedDisk`
-    accounting.
+    accounting. With ``checksums=True`` every file maintains a CRC32
+    sidecar verified on read (see module docstring).
     """
 
     def __init__(
@@ -250,11 +461,13 @@ class Device:
         root: PathLike,
         disk: Optional[SimulatedDisk] = None,
         page_cache: Optional[PageCache] = None,
+        checksums: bool = False,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.disk = disk if disk is not None else SimulatedDisk()
         self.page_cache = page_cache
+        self.checksums = checksums
         self._files: Dict[str, ArrayFile] = {}
 
     def array_file(self, name: str, dtype: np.dtype) -> ArrayFile:
@@ -268,7 +481,13 @@ class Device:
                 f"file {name!r} already opened with dtype {existing.dtype}",
             )
             return existing
-        f = ArrayFile(self.root / name, np.dtype(dtype), self.disk, cache=self.page_cache)
+        f = ArrayFile(
+            self.root / name,
+            np.dtype(dtype),
+            self.disk,
+            cache=self.page_cache,
+            checksums=self.checksums,
+        )
         self._files[key] = f
         return f
 
@@ -280,10 +499,17 @@ class Device:
         return sum(p.stat().st_size for p in self.root.iterdir() if p.is_file())
 
     def purge(self) -> None:
-        """Delete every file under the device root."""
+        """Delete every file under the device root.
+
+        Every removed file is also dropped from the page cache — a
+        purged-then-recreated file must miss, not inherit phantom pages
+        (and undercharged I/O) from its deleted predecessor.
+        """
         for f in list(self._files.values()):
             f.delete()
         self._files.clear()
         for p in self.root.iterdir():
             if p.is_file():
+                if self.page_cache is not None:
+                    self.page_cache.invalidate_file(p.name)
                 p.unlink()

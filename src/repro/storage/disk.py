@@ -166,10 +166,18 @@ class SimulatedDisk:
     :class:`~repro.utils.timers.SimClock` by the modeled transfer time.
     """
 
-    def __init__(self, profile: DiskProfile = HDD_PROFILE, clock: Optional[SimClock] = None):
+    def __init__(
+        self,
+        profile: DiskProfile = HDD_PROFILE,
+        clock: Optional[SimClock] = None,
+        injector: Optional[object] = None,
+    ):
         self.profile = profile
         self.clock = clock if clock is not None else SimClock()
         self.stats = IOStats()
+        #: Optional :class:`~repro.storage.faults.FaultInjector`; every
+        #: ArrayFile operation and engine crash point polls it when set.
+        self.injector = injector
 
     # -- reads -------------------------------------------------------------
 
@@ -211,6 +219,13 @@ class SimulatedDisk:
 
     def record_cache_miss(self) -> None:
         self.stats.cache_misses += 1
+
+    # -- fault recovery ------------------------------------------------------
+
+    def charge_retry_backoff(self, seconds: float, write: bool = False) -> None:
+        """Charge the modeled wait before re-issuing a faulted request."""
+        check_nonneg(seconds, "seconds")
+        self.clock.charge(IO_WRITE if write else IO_READ, seconds)
 
     def reset(self) -> None:
         """Clear counters and clock (the profile is retained)."""

@@ -1,0 +1,225 @@
+"""Deterministic fault injection for the storage substrate.
+
+The paper's headline workloads run for hours out-of-core (Kron30 SSSP:
+~6 h on the testbed), which makes disk faults, torn writes, and mid-run
+crashes *normal operating conditions* rather than edge cases. This
+module provides the machinery to prove the system survives them:
+
+* a seeded :class:`FaultPlan` describes, declaratively and
+  deterministically, which storage operations fault — transient
+  ``IOError`` s on read/write, torn writes that persist only a prefix of
+  the payload, single-bit flips in named column files, and named *crash
+  points* at which the whole run dies;
+* a :class:`FaultInjector` consumes the plan at run time. It attaches to
+  a :class:`~repro.storage.disk.SimulatedDisk` (``disk.injector``), from
+  where every :class:`~repro.storage.blockfile.ArrayFile` operation and
+  every engine crash point polls it.
+
+Faults are counted per *matching operation* (1-based ``at_op`` ordinal,
+``count`` consecutive ops), so a given plan replays identically on every
+run — tests can kill a run at a precise block of a precise iteration and
+resume it.
+
+Error taxonomy
+--------------
+:class:`TransientIOError`
+    A retryable device error. :class:`~repro.storage.blockfile.ArrayFile`
+    absorbs up to its retry budget with modeled backoff; exhaustion
+    re-raises it (making the fault *unrecoverable* to the caller).
+:class:`GatherFault`
+    An unrecoverable fault during an on-demand (selective) gather, raised
+    by the SCIU round *after* rolling the engine back to the round
+    boundary — the engine responds by degrading that iteration to the
+    full-streaming I/O model.
+:class:`ChecksumError`
+    On-disk bytes disagree with their recorded CRC32. Never absorbed:
+    corruption must surface as an error, not a silently wrong result.
+:class:`SimulatedCrash`
+    Injected process death. Derives from ``BaseException`` so that no
+    recovery or fallback path can accidentally absorb it — a crash kills
+    the run exactly like SIGKILL would.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.utils.validation import check_fraction, require
+
+
+class FaultError(IOError):
+    """Base class for injected storage faults."""
+
+
+class TransientIOError(FaultError):
+    """A transient, retryable device error on one read/write operation."""
+
+
+class GatherFault(FaultError):
+    """Unrecoverable fault during an on-demand gather (safe to degrade)."""
+
+
+class ChecksumError(Exception):
+    """On-disk data does not match its recorded CRC32 checksum."""
+
+
+class SimulatedCrash(BaseException):
+    """Injected process death at a named crash point or torn write."""
+
+
+#: Fault kinds a :class:`FaultSpec` may carry.
+FAULT_KINDS = ("transient-read", "transient-write", "torn-write", "bit-flip")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault rule.
+
+    ``pattern`` is an ``fnmatch`` glob over file *names* (not paths).
+    The rule fires on matching operations ``at_op .. at_op + count - 1``
+    (1-based, counted per spec across the injector's lifetime).
+    ``fraction`` is the portion of the payload a torn write persists;
+    ``bit`` pins the flipped bit of a bit-flip (seeded-random if None).
+    """
+
+    kind: str
+    pattern: str = "*"
+    at_op: int = 1
+    count: int = 1
+    fraction: float = 0.5
+    bit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        require(self.kind in FAULT_KINDS, f"unknown fault kind {self.kind!r}")
+        require(self.at_op >= 1, "at_op is a 1-based operation ordinal")
+        require(self.count >= 1, "count must be >= 1")
+        check_fraction(self.fraction, "fraction")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, seeded schedule of storage faults and crashes.
+
+    ``crash_points`` maps a crash-point name (e.g. ``"mid-scatter"``,
+    ``"mid-checkpoint"``, ``"post-apply"``) to the 1-based hit ordinal at
+    which :class:`SimulatedCrash` is raised.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    crash_points: Mapping[str, int] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        object.__setattr__(self, "crash_points", dict(self.crash_points))
+        for point, hit in self.crash_points.items():
+            require(int(hit) >= 1, f"crash point {point!r} hit ordinal must be >= 1")
+
+
+class FaultInjector:
+    """Runtime consumer of a :class:`FaultPlan`.
+
+    One injector serves one :class:`~repro.storage.disk.SimulatedDisk`;
+    attach it with ``disk.injector = FaultInjector(plan)``. All decisions
+    are deterministic functions of the plan and the operation sequence,
+    so a failing schedule can be replayed exactly.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self._op_counts: Dict[int, int] = {}
+        self._crash_hits: Dict[str, int] = {}
+        #: Human-readable log of every fault actually injected.
+        self.events: List[str] = []
+
+    # -- operation-level faults -----------------------------------------
+
+    def _due(self, kind: str, name: str) -> Optional[FaultSpec]:
+        """Advance op counters for every matching spec; return one due."""
+        hit: Optional[FaultSpec] = None
+        for idx, spec in enumerate(self.plan.specs):
+            if spec.kind != kind or not fnmatch(name, spec.pattern):
+                continue
+            n = self._op_counts.get(idx, 0) + 1
+            self._op_counts[idx] = n
+            if hit is None and spec.at_op <= n < spec.at_op + spec.count:
+                hit = spec
+        return hit
+
+    def fault_read(self, name: str) -> bool:
+        """Poll for a transient fault on one read attempt of ``name``."""
+        if self._due("transient-read", name) is None:
+            return False
+        self.events.append(f"transient-read:{name}")
+        return True
+
+    def fault_write(self, name: str) -> bool:
+        """Poll for a transient fault on one write attempt of ``name``."""
+        if self._due("transient-write", name) is None:
+            return False
+        self.events.append(f"transient-write:{name}")
+        return True
+
+    def torn_write(self, name: str) -> Optional[float]:
+        """Poll for a torn write; returns the surviving fraction if due."""
+        spec = self._due("torn-write", name)
+        if spec is None:
+            return None
+        self.events.append(f"torn-write:{name}")
+        return spec.fraction
+
+    # -- crash points ----------------------------------------------------
+
+    def crash_point(self, point: str) -> None:
+        """Die with :class:`SimulatedCrash` at the planned hit of ``point``."""
+        due = self.plan.crash_points.get(point)
+        if due is None:
+            return
+        n = self._crash_hits.get(point, 0) + 1
+        self._crash_hits[point] = n
+        if n == int(due):
+            self.events.append(f"crash:{point}")
+            raise SimulatedCrash(point)
+
+    # -- corruption ------------------------------------------------------
+
+    def apply_bit_flips(self, device) -> List[Tuple[str, int]]:
+        """Corrupt the device files named by the plan's bit-flip specs.
+
+        Each bit-flip spec flips exactly one bit (``spec.bit`` or a
+        seeded-random position) in every matching data file. Checksum
+        sidecars are never targeted — the point is corrupting data the
+        checksums must then catch. Returns ``(file name, bit)`` pairs.
+        """
+        flipped: List[Tuple[str, int]] = []
+        for spec in self.plan.specs:
+            if spec.kind != "bit-flip":
+                continue
+            for name in list(device.file_names()):
+                if name.endswith(".crc") or not fnmatch(name, spec.pattern):
+                    continue
+                path = device.root / name
+                nbits = path.stat().st_size * 8
+                if nbits == 0:
+                    continue
+                bit = spec.bit if spec.bit is not None else self._rng.randrange(nbits)
+                flip_bit(path, bit)
+                device.disk.stats.faults_injected += 1
+                self.events.append(f"bit-flip:{name}@{bit}")
+                flipped.append((name, bit))
+        return flipped
+
+
+def flip_bit(path: Union[str, Path], bit_index: int) -> None:
+    """Flip one bit of a file in place (corruption helper for tests)."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    byte, offset = divmod(int(bit_index), 8)
+    require(0 <= byte < len(data), f"bit {bit_index} beyond end of {path.name}")
+    data[byte] ^= 1 << offset
+    path.write_bytes(data)

@@ -29,6 +29,11 @@ class IOStats:
     cache_hits: int = 0
     cache_misses: int = 0
     bytes_served_from_cache: int = 0
+    # Fault/recovery accounting (see repro.storage.faults): requests
+    # re-issued after a transient fault, and faults actually injected.
+    read_retries: int = 0
+    write_retries: int = 0
+    faults_injected: int = 0
 
     # -- derived -----------------------------------------------------------
 
@@ -52,6 +57,11 @@ class IOStats:
     @property
     def write_requests(self) -> int:
         return self.write_requests_seq + self.write_requests_ran
+
+    @property
+    def retries(self) -> int:
+        """Total requests re-issued after an absorbed transient fault."""
+        return self.read_retries + self.write_retries
 
     @property
     def cache_hit_rate(self) -> float:

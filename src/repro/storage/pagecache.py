@@ -37,6 +37,7 @@ class PageCacheStats:
     evictions: int = 0
     bytes_requested: int = 0
     bytes_missed: int = 0
+    pages_invalidated: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -111,6 +112,7 @@ class PageCache:
         victims = [k for k in self._pages if k[0] == file_key]
         for k in victims:
             del self._pages[k]
+        self.stats.pages_invalidated += len(victims)
         return len(victims)
 
     def clear(self) -> None:

@@ -10,6 +10,7 @@ from repro.utils.rng import make_rng, spawn_rngs
 from repro.utils.timers import SimClock, WallTimer, TimeBreakdown
 from repro.utils.validation import (
     check_dtype,
+    check_fraction,
     check_in_range,
     check_nonneg,
     check_positive,
@@ -25,6 +26,7 @@ __all__ = [
     "WallTimer",
     "TimeBreakdown",
     "check_dtype",
+    "check_fraction",
     "check_in_range",
     "check_nonneg",
     "check_positive",

@@ -36,6 +36,11 @@ def check_in_range(value: float, lo: float, hi: float, name: str) -> None:
         raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
 
 
+def check_fraction(value: float, name: str) -> None:
+    """Require ``0 <= value <= 1`` (a fraction or probability)."""
+    check_in_range(value, 0.0, 1.0, name)
+
+
 def check_same_length(name_a: str, a: Sequence[Any], name_b: str, b: Sequence[Any]) -> None:
     """Require two sequences to have equal length."""
     if len(a) != len(b):

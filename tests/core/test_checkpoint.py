@@ -100,7 +100,8 @@ def test_checkpoint_discarded_after_convergence(edges, tmp_path):
     engine.run(ConnectedComponents(), checkpoint_tag="t")
     manager = engine._checkpoint_manager("t")
     assert not manager.exists
-    assert not list(store.device.root.glob("*.ckpt"))
+    for leftover in ("*.ckpt", "*.ckpt.json", "*.ckpt.json.tmp", "*.ckpt.crc"):
+        assert not list(store.device.root.glob(leftover))
 
 
 def test_resume_without_checkpoint_runs_from_scratch(edges, tmp_path):
@@ -137,7 +138,7 @@ def test_manager_rejects_wrong_program(device):
     from repro.utils.bitset import VertexSubset
 
     manager = CheckpointManager(device, "wp")
-    manager.write("cc", 1, VertexSubset(4), {"value": "v"})
+    manager.write("cc", 1, VertexSubset(4), {"value": np.zeros(4)})
     with pytest.raises(ValueError, match="belongs to program"):
         manager.load_meta("pagerank")
 
@@ -146,14 +147,16 @@ def test_checkpoint_manager_sidecar_is_atomic(tmp_path, device):
     manager = CheckpointManager(device, "m")
     from repro.utils.bitset import VertexSubset
 
-    manager.write("cc", 3, VertexSubset.from_indices(10, [1, 2]), {"value": "v"})
+    manager.write("cc", 3, VertexSubset.from_indices(10, [1, 2]), {"value": np.arange(10.0)})
     assert manager.exists
     meta = manager.load_meta("cc")
     assert meta.iterations_done == 3
     frontier = manager.load_frontier(10)
     assert sorted(frontier) == [1, 2]
+    assert np.array_equal(manager.load_state("value", 10, np.float64), np.arange(10.0))
     # a second write supersedes the first
-    manager.write("cc", 5, VertexSubset.from_indices(10, [7]), {"value": "v"})
+    manager.write("cc", 5, VertexSubset.from_indices(10, [7]), {"value": np.ones(10)})
     assert manager.load_meta("cc").iterations_done == 5
+    assert np.array_equal(manager.load_state("value", 10, np.float64), np.ones(10))
     manager.discard()
     assert not manager.exists

@@ -1,0 +1,299 @@
+"""Fault injection, checksums, retries: the storage robustness layer."""
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    ChecksumError,
+    Device,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    PageCache,
+    SimulatedCrash,
+    SimulatedDisk,
+    TransientIOError,
+)
+from repro.storage.blockfile import MAX_IO_RETRIES
+from repro.storage.disk import HDD_PROFILE
+
+
+def make_device(tmp_path, checksums=False, page_cache=None, plan=None):
+    disk = SimulatedDisk(HDD_PROFILE)
+    if plan is not None:
+        disk.injector = FaultInjector(plan)
+    return Device(tmp_path / "dev", disk, page_cache=page_cache, checksums=checksums)
+
+
+# -- transient faults and the retry loop -----------------------------------
+
+
+def test_transient_read_fault_absorbed_by_retry(tmp_path):
+    plan = FaultPlan(specs=(FaultSpec("transient-read", "f.dat"),))
+    device = make_device(tmp_path, plan=plan)
+    f = device.array_file("f.dat", np.float64)
+    f.write(np.arange(64.0))
+    before = device.disk.clock.elapsed()
+
+    out = f.read_all()
+
+    assert np.array_equal(out, np.arange(64.0))  # the retry succeeded
+    assert device.disk.stats.read_retries == 1
+    assert device.disk.stats.write_retries == 0
+    assert device.disk.stats.faults_injected == 1
+    assert device.disk.stats.retries == 1
+    assert device.disk.clock.elapsed() > before  # backoff was charged
+
+
+def test_transient_write_fault_absorbed_by_retry(tmp_path):
+    plan = FaultPlan(specs=(FaultSpec("transient-write", "f.dat"),))
+    device = make_device(tmp_path, plan=plan)
+    f = device.array_file("f.dat", np.int64)
+
+    f.write(np.arange(10))
+
+    assert np.array_equal(f.read_all(), np.arange(10))
+    assert device.disk.stats.write_retries == 1
+    assert device.disk.stats.faults_injected == 1
+
+
+def test_persistent_fault_exhausts_retry_budget(tmp_path):
+    # The retry loop re-polls once per attempt: MAX_IO_RETRIES + 1
+    # consecutive faults exhaust it.
+    plan = FaultPlan(
+        specs=(FaultSpec("transient-read", "f.dat", count=MAX_IO_RETRIES + 1),)
+    )
+    device = make_device(tmp_path, plan=plan)
+    f = device.array_file("f.dat", np.float64)
+    f.write(np.arange(8.0))
+
+    with pytest.raises(TransientIOError, match="persisted"):
+        f.read_all()
+    assert device.disk.stats.read_retries == MAX_IO_RETRIES
+    assert device.disk.stats.faults_injected == MAX_IO_RETRIES + 1
+
+    # The fault window has passed: the next read goes through cleanly.
+    assert np.array_equal(f.read_all(), np.arange(8.0))
+
+
+def test_fault_targets_only_matching_files(tmp_path):
+    plan = FaultPlan(specs=(FaultSpec("transient-read", "*.edges"),))
+    device = make_device(tmp_path, plan=plan)
+    idx = device.array_file("g.idx", np.int64)
+    idx.write(np.arange(4))
+
+    idx.read_all()
+
+    assert device.disk.stats.read_retries == 0
+    assert device.disk.stats.faults_injected == 0
+
+
+# -- torn writes -----------------------------------------------------------
+
+
+def test_torn_append_crashes_and_is_detected_on_read(tmp_path):
+    plan = FaultPlan(specs=(FaultSpec("torn-write", "f.dat", at_op=2, fraction=0.5),))
+    device = make_device(tmp_path, checksums=True, plan=plan)
+    f = device.array_file("f.dat", np.float64)
+    f.write(np.arange(16.0))
+
+    with pytest.raises(SimulatedCrash):
+        f.append(np.arange(16.0))
+
+    # Half the appended payload landed; the sidecar still records the
+    # pre-append state, so recovery sees the tear instead of bad data.
+    assert f.nbytes == 16 * 8 + 8 * 8
+    fresh = make_device(tmp_path, checksums=True).array_file("f.dat", np.float64)
+    with pytest.raises(ChecksumError, match="torn or lost write"):
+        fresh.read_all()
+
+
+def test_torn_overwrite_slice_detected_by_chunk_crc(tmp_path):
+    plan = FaultPlan(specs=(FaultSpec("torn-write", "f.dat", at_op=2, fraction=0.5),))
+    device = make_device(tmp_path, checksums=True, plan=plan)
+    f = device.array_file("f.dat", np.float64)
+    f.write(np.zeros(32))
+
+    with pytest.raises(SimulatedCrash):
+        f.overwrite_slice(8, np.full(16, 7.0))
+
+    # The file size did not change — only the chunk CRCs expose the tear.
+    fresh = make_device(tmp_path, checksums=True).array_file("f.dat", np.float64)
+    with pytest.raises(ChecksumError, match="CRC32 mismatch"):
+        fresh.read_all()
+
+
+# -- bit flips vs checksums ---------------------------------------------------
+
+
+@pytest.mark.parametrize("reader", ["read_all", "read_slice", "read_gather"])
+def test_single_bit_flip_detected_on_every_read_path(tmp_path, reader):
+    device = make_device(tmp_path, checksums=True)
+    f = device.array_file("g.edges", np.int64)
+    f.write(np.arange(100))
+
+    plan = FaultPlan(specs=(FaultSpec("bit-flip", "g.edges", bit=7),))
+    FaultInjector(plan).apply_bit_flips(device)
+
+    with pytest.raises(ChecksumError, match="CRC32 mismatch"):
+        if reader == "read_all":
+            f.read_all()
+        elif reader == "read_slice":
+            f.read_slice(0, 10)
+        else:
+            f.read_gather(np.array([0, 50]), np.array([4, 4]))
+
+
+def test_bit_flip_in_later_chunk_detected_by_covering_slice(tmp_path):
+    """Chunked CRCs localize: only reads covering the damage fail."""
+    device = make_device(tmp_path, checksums=True)
+    f = device.array_file("f.dat", np.uint8)
+    f.write(np.zeros(3 * (1 << 16), dtype=np.uint8))  # 3 chunks
+
+    plan = FaultPlan(specs=(FaultSpec("bit-flip", "f.dat", bit=8 * (2 << 16) + 3),))
+    FaultInjector(plan).apply_bit_flips(device)
+
+    assert np.array_equal(f.read_slice(0, 1 << 16), np.zeros(1 << 16, np.uint8))
+    with pytest.raises(ChecksumError, match="chunk 2"):
+        f.read_slice(2 << 16, 1 << 16)
+
+
+def test_apply_bit_flips_targets_pattern_not_sidecars(tmp_path):
+    device = make_device(tmp_path, checksums=True)
+    device.array_file("g.edges", np.int64).write(np.arange(10))
+    device.array_file("g.idx", np.int64).write(np.arange(10))
+    crc_before = (device.root / "g.idx.crc").read_bytes()
+
+    plan = FaultPlan(specs=(FaultSpec("bit-flip", "*.edges", bit=0),))
+    flipped = FaultInjector(plan).apply_bit_flips(device)
+
+    assert [name for name, _bit in flipped] == ["g.edges"]
+    assert device.disk.stats.faults_injected == 1
+    assert (device.root / "g.idx.crc").read_bytes() == crc_before
+    assert np.array_equal(
+        device.array_file("g.idx", np.int64).read_all(), np.arange(10)
+    )
+
+
+def test_seeded_bit_flip_is_deterministic(tmp_path):
+    plan = FaultPlan(specs=(FaultSpec("bit-flip", "f.dat"),), seed=99)
+    picks = []
+    for trial in range(2):
+        device = make_device(tmp_path / str(trial))
+        device.array_file("f.dat", np.int64).write(np.arange(50))
+        picks.append(FaultInjector(plan).apply_bit_flips(device))
+    assert picks[0] == picks[1]
+
+
+# -- checksum maintenance ---------------------------------------------------
+
+
+def test_checksums_track_write_append_overwrite(tmp_path):
+    device = make_device(tmp_path, checksums=True)
+    f = device.array_file("f.dat", np.float64)
+
+    f.write(np.arange(10.0))
+    f.append(np.arange(10.0, 20.0))
+    f.overwrite_slice(5, np.full(5, -1.0))
+
+    expected = np.arange(20.0)
+    expected[5:10] = -1.0
+    # A fresh handle re-reads the sidecar from disk: no false positives.
+    fresh = make_device(tmp_path, checksums=True).array_file("f.dat", np.float64)
+    assert np.array_equal(fresh.read_all(), expected)
+    assert np.array_equal(fresh.read_slice(5, 10), expected[5:15])
+    assert np.array_equal(
+        fresh.read_gather(np.array([3, 12]), np.array([4, 4])),
+        np.concatenate([expected[3:7], expected[12:16]]),
+    )
+
+
+def test_checksums_adopt_preexisting_files(tmp_path):
+    # A file written without checksums gains a full sidecar on its first
+    # checksummed write, covering the untouched prefix too.
+    plain = make_device(tmp_path, checksums=False)
+    plain.array_file("f.dat", np.float64).write(np.arange(10.0))
+
+    checked = Device(plain.root, plain.disk, checksums=True)
+    f = checked.array_file("f.dat", np.float64)
+    f.append(np.arange(10.0, 12.0))
+
+    assert np.array_equal(f.read_all(), np.arange(12.0))
+    from repro.storage.faults import flip_bit
+
+    flip_bit(checked.root / "f.dat", bit_index=3)  # in the old prefix
+    with pytest.raises(ChecksumError):
+        f.read_all()
+
+
+def test_unchecksummed_files_read_without_verification(tmp_path):
+    device = make_device(tmp_path, checksums=False)
+    f = device.array_file("f.dat", np.int64)
+    f.write(np.arange(10))
+    assert not (device.root / "f.dat.crc").exists()
+    assert np.array_equal(f.read_all(), np.arange(10))
+
+
+def test_delete_removes_checksum_sidecar(tmp_path):
+    device = make_device(tmp_path, checksums=True)
+    f = device.array_file("f.dat", np.int64)
+    f.write(np.arange(10))
+    assert (device.root / "f.dat.crc").exists()
+    f.delete()
+    assert not (device.root / "f.dat.crc").exists()
+    assert not f.exists
+
+
+# -- crash points ------------------------------------------------------------
+
+
+def test_crash_point_fires_at_exact_ordinal_and_replays(tmp_path):
+    plan = FaultPlan(crash_points={"mid-scatter": 3})
+    for _replay in range(2):
+        inj = FaultInjector(plan)
+        inj.crash_point("mid-scatter")
+        inj.crash_point("mid-scatter")
+        inj.crash_point("other-point")  # independent counter
+        with pytest.raises(SimulatedCrash, match="mid-scatter"):
+            inj.crash_point("mid-scatter")
+        # Past its ordinal the point is spent: the run resumes through it.
+        inj.crash_point("mid-scatter")
+
+
+# -- page-cache hygiene on delete/purge --------------------------------------
+
+
+def test_delete_invalidates_page_cache(tmp_path):
+    cache = PageCache(1 << 20)
+    device = make_device(tmp_path, page_cache=cache)
+    f = device.array_file("f.dat", np.float64)
+    f.write(np.arange(512.0))
+    f.read_all()
+    assert cache.resident_pages > 0
+
+    f.delete()
+
+    assert cache.resident_pages == 0
+    assert cache.stats.pages_invalidated > 0
+
+
+def test_purge_invalidates_page_cache_for_every_file(tmp_path):
+    cache = PageCache(1 << 20)
+    device = make_device(tmp_path, page_cache=cache)
+    device.array_file("a.dat", np.float64).write(np.arange(512.0))
+    device.array_file("b.dat", np.float64).write(np.arange(512.0))
+    # A file the device never opened (e.g. from a previous process).
+    other = Device(device.root, device.disk, page_cache=cache)
+    other.array_file("c.dat", np.float64).write(np.arange(512.0))
+    assert cache.resident_pages > 0
+
+    device.purge()
+
+    # No phantom pages: a recreated file must miss, not hit.
+    assert cache.resident_pages == 0
+    f = device.array_file("a.dat", np.float64)
+    f.write(np.arange(512.0))
+    missed_before = cache.stats.bytes_missed
+    cache.clear()
+    f.read_all()
+    assert cache.stats.bytes_missed > missed_before

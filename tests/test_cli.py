@@ -71,3 +71,41 @@ def test_preprocess_command(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "preprocessed twitter2010" in out
     assert (tmp_path / "rep").exists()
+
+
+def test_broken_workspace_exits_nonzero_with_readable_error(tmp_path, capsys):
+    """Operational failures print one readable line, not a traceback."""
+    bogus = tmp_path / "not-a-directory"
+    bogus.write_text("this is a file where a graph directory should be")
+    rc = main(
+        [
+            "run",
+            "--dataset",
+            "twitter2010",
+            "--algorithm",
+            "bfs",
+            "--workspace",
+            str(bogus),
+        ]
+    )
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "Traceback" not in err
+
+
+def test_preprocess_with_checksums_writes_sidecars(tmp_path):
+    rc = main(
+        [
+            "preprocess",
+            "--dataset",
+            "twitter2010",
+            "--out",
+            str(tmp_path / "rep"),
+            "-P",
+            "4",
+            "--checksums",
+        ]
+    )
+    assert rc == 0
+    assert list((tmp_path / "rep").glob("*.crc"))
