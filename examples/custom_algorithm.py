@@ -74,7 +74,7 @@ def main() -> None:
 
     seeds = [0, 1, 2]
     program = DecayingInfluence(seeds, decay=0.5)
-    result = GraphSDEngine(store).run(program)
+    result = GraphSDEngine(store, ctx=GraphContext.from_edges(edges)).run(program)
 
     influence = program.influence(result.values)
     reached = int(np.count_nonzero(influence > 0))

@@ -20,7 +20,7 @@ import tempfile
 import numpy as np
 
 from repro import Device, GridStore, make_intervals
-from repro.algorithms import SSSP
+from repro.algorithms import GraphContext, SSSP
 from repro.core import GraphSDEngine
 from repro.datasets import load_dataset
 
@@ -46,11 +46,12 @@ def main() -> None:
     print(f"graph: |V|={edges.num_vertices:,} |E|={edges.num_edges:,}")
 
     # The reference: one uninterrupted run.
-    straight = GraphSDEngine(store).run(SSSP(source=0))
+    ctx = GraphContext.from_edges(edges)
+    straight = GraphSDEngine(store, ctx=ctx).run(SSSP(source=0))
     print(f"uninterrupted: {straight.summary()}")
 
     # A run that dies three rounds in...
-    crasher = CrashAfterRounds(store, rounds=3)
+    crasher = CrashAfterRounds(store, rounds=3, ctx=ctx)
     try:
         crasher.run(SSSP(source=0), checkpoint_tag="demo")
     except RuntimeError as exc:
@@ -58,7 +59,7 @@ def main() -> None:
         print(f"crash: {exc!r} after {done} iterations (checkpoint on disk)")
 
     # ...and its resurrection.
-    resumed = GraphSDEngine(store).run(
+    resumed = GraphSDEngine(store, ctx=ctx).run(
         SSSP(source=0), checkpoint_tag="demo", resume=True
     )
     print(f"resumed: {resumed.summary()}")

@@ -16,7 +16,7 @@ import tempfile
 import numpy as np
 
 from repro import Device, GridStore, make_intervals
-from repro.algorithms import PageRank
+from repro.algorithms import GraphContext, PageRank
 from repro.core import GraphSDEngine
 from repro.datasets import rmat_edges
 
@@ -35,7 +35,7 @@ def main() -> None:
     print(f"on-disk representation: {device.total_bytes() / (1 << 20):.1f} MiB in {workdir}")
 
     # 3. Execute five PageRank iterations (the paper's PR workload).
-    engine = GraphSDEngine(store)
+    engine = GraphSDEngine(store, ctx=GraphContext.from_edges(edges))
     result = engine.run(PageRank(iterations=5))
 
     # 4. Results + engine behaviour.

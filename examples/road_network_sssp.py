@@ -19,7 +19,7 @@ from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
 from repro import Device, GridStore, make_intervals
-from repro.algorithms import SSSP
+from repro.algorithms import GraphContext, SSSP
 from repro.core import GraphSDEngine
 from repro.datasets import grid_2d, with_uniform_weights
 
@@ -35,7 +35,7 @@ def main() -> None:
     device = Device(tempfile.mkdtemp(prefix="graphsd-roads-"))
     store = GridStore.build(edges, make_intervals(edges, P=8), device, prefix="roads")
 
-    engine = GraphSDEngine(store)
+    engine = GraphSDEngine(store, ctx=GraphContext.from_edges(edges))
     result = engine.run(SSSP(source=0))
     print(result.summary())
 

@@ -87,6 +87,21 @@ class GraphContext:
     out_degrees: Optional[np.ndarray] = None
     params: Dict[str, object] = field(default_factory=dict)
 
+    @classmethod
+    def from_edges(cls, edges) -> "GraphContext":
+        """Build a context from an in-memory edge list (no charged I/O).
+
+        Callers that still hold the raw :class:`~repro.graph.edgelist.EdgeList`
+        should pass ``ctx=GraphContext.from_edges(edges)`` to the engine so
+        it skips the fallback charged degree scan in ``build_context``.
+        """
+        degrees = np.bincount(edges.src, minlength=edges.num_vertices).astype(np.int64)
+        return cls(
+            num_vertices=edges.num_vertices,
+            num_edges=edges.num_edges,
+            out_degrees=degrees,
+        )
+
     def require_out_degrees(self) -> np.ndarray:
         require(self.out_degrees is not None, "this program requires out_degrees in the context")
         return self.out_degrees

@@ -29,6 +29,7 @@ from repro.baselines import (
     XStreamEngine,
 )
 from repro.core import GraphSDConfig, GraphSDEngine, RunResult
+from repro.core.engine import DEFAULT_PREFETCH_DEPTH
 from repro.core.engine_base import EngineBase
 from repro.datasets import load_dataset
 from repro.graph import (
@@ -54,6 +55,10 @@ class Workload:
     params: Dict[str, object] = field(default_factory=dict)
     weighted: bool = False
     symmetrize: bool = False
+    #: Optional per-workload pipeline overrides; ``None`` defers to the
+    #: harness (whose own default is serial execution).
+    pipeline: Optional[bool] = None
+    prefetch_depth: Optional[int] = None
 
     def make_program(self) -> VertexProgram:
         return make_program(self.algorithm, **self.params)
@@ -83,14 +88,33 @@ class SystemSpec:
 
 
 def _graphsd_engine(config: Optional[GraphSDConfig] = None, label: Optional[str] = None):
-    def make(store: GridStore, machine: MachineProfile, ctx: GraphContext) -> EngineBase:
-        return GraphSDEngine(store, machine, config=config, ctx=ctx, label=label)
+    def make(
+        store: GridStore,
+        machine: MachineProfile,
+        ctx: GraphContext,
+        pipeline: bool = False,
+        prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
+    ) -> EngineBase:
+        from dataclasses import replace
+
+        cfg = config if config is not None else GraphSDConfig()
+        cfg = replace(cfg, pipeline=pipeline, prefetch_depth=prefetch_depth)
+        return GraphSDEngine(store, machine, config=cfg, ctx=ctx, label=label)
 
     return make
 
 
 def _simple_engine(cls):
-    def make(store: GridStore, machine: MachineProfile, ctx: GraphContext) -> EngineBase:
+    def make(
+        store: GridStore,
+        machine: MachineProfile,
+        ctx: GraphContext,
+        pipeline: bool = False,
+        prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
+    ) -> EngineBase:
+        # Baseline engines model strictly serial systems; the pipeline
+        # flags do not apply to them.
+        require(not pipeline, f"{cls.__name__} does not support --pipeline")
         return cls(store, machine, ctx=ctx)
 
     return make
@@ -139,6 +163,8 @@ class Harness:
         P: int = 8,
         verify: bool = False,
         checksums: bool = False,
+        pipeline: bool = False,
+        prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
     ) -> None:
         if workspace is None:
             self._tmpdir = tempfile.mkdtemp(prefix="graphsd-bench-")
@@ -152,11 +178,13 @@ class Harness:
         self.P = P
         self.verify = verify
         self.checksums = checksums
+        self.pipeline = pipeline
+        self.prefetch_depth = prefetch_depth
         self._stores: Dict[Tuple, Tuple[GridStore, PreprocessResult]] = {}
         self._edges: Dict[Tuple, EdgeList] = {}
         self._contexts: Dict[Tuple, GraphContext] = {}
         self._reference_cache: Dict[Tuple, np.ndarray] = {}
-        self._run_cache: Dict[Tuple[str, str, str], RunResult] = {}
+        self._run_cache: Dict[Tuple[str, str, str, bool, int], RunResult] = {}
 
     # -- inputs --------------------------------------------------------
 
@@ -210,7 +238,13 @@ class Harness:
     # -- execution -----------------------------------------------------
 
     def run(
-        self, system: str, workload_key: str, dataset: str, use_cache: bool = True
+        self,
+        system: str,
+        workload_key: str,
+        dataset: str,
+        use_cache: bool = True,
+        pipeline: Optional[bool] = None,
+        prefetch_depth: Optional[int] = None,
     ) -> RunResult:
         """Execute one (system, workload, dataset) cell.
 
@@ -218,15 +252,33 @@ class Harness:
         results are memoized by default; experiments that share cells
         (Table 4 / Fig. 5 / Fig. 6 / Fig. 7 all reuse the same runs, as
         the paper's evaluation does) pay for each cell once.
+
+        ``pipeline``/``prefetch_depth`` resolve per call → per workload →
+        harness default; pipelined cells are cached separately (they
+        produce identical results but different elapsed times).
         """
-        key = (system, workload_key, dataset)
+        workload = WORKLOADS[workload_key]
+        if pipeline is None:
+            pipeline = workload.pipeline if workload.pipeline is not None else self.pipeline
+        if prefetch_depth is None:
+            prefetch_depth = (
+                workload.prefetch_depth
+                if workload.prefetch_depth is not None
+                else self.prefetch_depth
+            )
+        key = (system, workload_key, dataset, bool(pipeline), int(prefetch_depth))
         if use_cache and key in self._run_cache:
             return self._run_cache[key]
         spec = SYSTEMS[system]
-        workload = WORKLOADS[workload_key]
-        store, _prep = self.preprocess(spec.representation, dataset, workload)
-        ctx = self.context_for(dataset, workload)
-        engine = spec.make_engine(store, self.machine, ctx)
+        store, prep = self.preprocess(spec.representation, dataset, workload)
+        # Preprocessing already produced the degrees; reuse its context
+        # so no engine pays a second full-graph scan (charged or not).
+        ctx = prep.context if prep.out_degrees is not None else self.context_for(
+            dataset, workload
+        )
+        engine = spec.make_engine(
+            store, self.machine, ctx, pipeline=pipeline, prefetch_depth=prefetch_depth
+        )
         result = engine.run(workload.make_program())
         if self.verify:
             self.check_against_reference(result, workload, dataset)

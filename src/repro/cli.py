@@ -35,7 +35,9 @@ from repro.bench import (
     run_table1_features,
     run_table4_fig5,
 )
+from repro.bench.overlap import run_overlap_benchmark
 from repro.bench.reporting import format_table
+from repro.core import DEFAULT_PREFETCH_DEPTH
 from repro.datasets import list_datasets, load_dataset, table3_rows
 from repro.graph import preprocess_graphsd, preprocess_husgraph, preprocess_lumos
 from repro.storage import ChecksumError, Device, FaultError
@@ -72,6 +74,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         P=args.partitions,
         verify=args.verify,
         checksums=args.checksums,
+        pipeline=args.pipeline,
+        prefetch_depth=args.prefetch_depth,
     )
     try:
         result = harness.run(args.system, args.algorithm, args.dataset)
@@ -114,6 +118,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "wall_seconds": result.wall_seconds,
             "models": result.model_history,
             "frontiers": result.frontier_history,
+            "pipeline": args.pipeline,
+            "overlap_saved_seconds": result.overlap_saved_seconds,
+            "prefetch_issued": result.prefetch_issued,
+            "prefetch_hits": result.prefetch_hits,
+            "prefetch_wasted": result.prefetch_wasted,
+            "buffer_hit_bytes": result.buffer_hit_bytes,
         }
         with open(args.json, "w") as f:
             json.dump(payload, f, indent=2)
@@ -132,6 +142,7 @@ _EXPERIMENTS = {
     "fig10": lambda h: [run_fig10_scheduler(h)],
     "fig11": lambda h: [run_fig11_overhead(h)],
     "fig12": lambda h: [run_fig12_buffering(h)],
+    "overlap": lambda h: [run_overlap_benchmark(h)],
 }
 
 
@@ -197,6 +208,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--checksums",
         action="store_true",
         help="verify CRC32 sidecars on every read (detects on-disk corruption)",
+    )
+    p.add_argument(
+        "--pipeline",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="overlap disk I/O with compute via the async prefetch pipeline "
+        "(see docs/PERFORMANCE.md)",
+    )
+    p.add_argument(
+        "--prefetch-depth",
+        type=int,
+        default=DEFAULT_PREFETCH_DEPTH,
+        metavar="N",
+        help="pipeline lookahead: max decoded blocks queued ahead of compute",
     )
     p.set_defaults(func=_cmd_run)
 

@@ -11,7 +11,12 @@
 """
 
 from repro.core.buffer import SubBlockBuffer
-from repro.core.engine import DEFAULT_BUFFER_FRACTION, GraphSDConfig, GraphSDEngine
+from repro.core.engine import (
+    DEFAULT_BUFFER_FRACTION,
+    DEFAULT_PREFETCH_DEPTH,
+    GraphSDConfig,
+    GraphSDEngine,
+)
 from repro.core.engine_base import EngineBase
 from repro.core.result import IterationRecord, RunResult
 from repro.core.scheduler import (
@@ -24,6 +29,7 @@ from repro.core.scheduler import (
 __all__ = [
     "SubBlockBuffer",
     "DEFAULT_BUFFER_FRACTION",
+    "DEFAULT_PREFETCH_DEPTH",
     "GraphSDConfig",
     "GraphSDEngine",
     "EngineBase",

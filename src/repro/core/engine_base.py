@@ -78,6 +78,13 @@ class EngineBase:
         Reads the source column once to compute out-degrees — engines
         need them for PageRank normalization and the scheduler's
         active-edge sizing.
+
+        This is a *fallback* for stores opened without their provenance:
+        callers that preprocessed the graph should pass
+        ``ctx=PreprocessResult.context`` (degrees fall out of the
+        partition pass), and callers holding the raw edge list can use
+        ``GraphContext.from_edges(edges)`` — both avoid re-reading the
+        entire source column here.
         """
         src = self.store.read_all_sources()
         degrees = np.bincount(src, minlength=self.store.num_vertices).astype(np.int64)

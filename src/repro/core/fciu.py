@@ -24,10 +24,30 @@ Phase 2 (iteration ``t+1``)
 When cross-iteration update is disabled (ablation GraphSD-b1) or only
 one iteration remains in the budget, the round degrades to a single
 plain full-I/O iteration.
+
+Plan-then-consume execution
+---------------------------
+Both phases run as a *block plan* (one load thunk per destination
+column) consumed through the engine's
+:class:`~repro.storage.prefetch.BlockPrefetcher`: with pipelining
+enabled, column ``j+1`` loads on a background thread while column ``j``
+gathers and applies, inside a clock
+:class:`~repro.utils.timers.OverlapRegion`. Two invariants keep
+pipelined execution bit-identical to serial:
+
+* the single worker executes columns strictly in sweep order, so the
+  disk-operation stream (charges, page-cache state, injected faults) is
+  exactly the serial one;
+* buffer admissions for column ``j`` are hoisted to the start of its
+  consume step (they depend only on residency and priorities fixed
+  before the column's gathers), and the worker's residency check for
+  column ``j+1`` waits on a gate set right after those admissions — the
+  buffer evolves exactly as in serial execution.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import List, Tuple
 
 import numpy as np
@@ -56,6 +76,7 @@ def _load_column_buffered(
             block = engine.buffer.get((i, j))
             if block is not None:
                 cached[i] = block
+                engine.disk.stats.buffer_hit_bytes += block.nbytes
 
     out: List[Tuple[int, EdgeBlock, bool]] = []
     run_start = None
@@ -90,6 +111,27 @@ def _count_active_edges(engine, block: EdgeBlock, mask: np.ndarray) -> int:
     return count
 
 
+def _column_tasks(engine, prefetcher, i_lo_of, gates=None):
+    """One load thunk per destination column, gated when requested.
+
+    ``gates[j]`` (when given) must be set before the worker may start
+    column ``j + 1`` — FCIU phase 1 sets it once column ``j``'s buffer
+    admissions are complete, so the worker's residency checks always see
+    the same buffer state as a serial sweep.
+    """
+    P = engine.store.P
+
+    def make_task(j: int):
+        def task() -> List[Tuple[int, EdgeBlock, bool]]:
+            if gates is not None and j > 0:
+                prefetcher.wait_gate(gates[j - 1])
+            return _load_column_buffered(engine, j, i_lo_of(j))
+
+        return task
+
+    return [make_task(j) for j in range(P)]
+
+
 def run_fciu_round(engine) -> VertexSubset:
     """Execute one FCIU round on a :class:`~repro.core.engine.GraphSDEngine`."""
     program = engine.program
@@ -108,50 +150,77 @@ def run_fciu_round(engine) -> VertexSubset:
 
     activated_mask = np.zeros(n, dtype=bool)
     edges1 = 0
-    for j in range(P):
-        diag_block = None
-        for i, block, from_cache in _load_column_buffered(engine, j, 0):
-            engine._crash_point("mid-scatter")
-            contrib, edge_mask = engine.gather_block(prev, block, gate_mask=gate)
-            engine.combine_block(acc, touched, block, contrib, edge_mask)
-            edges1 += block.count
-            if do_cross and i < j:
-                # Sources in interval i are final for iteration t: push
-                # their t+1 contributions now (Algorithm 3, lines 7-11).
-                contrib2, mask2 = engine.gather_block(engine.state, block, gate_mask=activated_mask)
-                engine.combine_block(acc_next, touched_next, block, contrib2, mask2)
-            if i == j:
-                diag_block = block  # held in memory (Algorithm 3, line 13)
-            if (
-                i > j
-                and engine.buffer_enabled
-                and not from_cache
-                and block.nbytes <= engine.buffer.capacity_bytes
-            ):
-                priority = _count_active_edges(
-                    engine, block, frontier.mask if gate is not None else np.ones(n, bool)
-                )
-                engine.buffer.put((i, j), block, priority)
+    prefetcher = engine.make_prefetcher()
+    admit = engine.buffer_enabled
+    gates = [threading.Event() for _ in range(P)] if admit else None
+    tasks = _column_tasks(engine, prefetcher, lambda j: 0, gates=gates)
+    with engine.overlap_region() as region:
+        if region is not None:
+            tasks[0] = region.measure_fill(tasks[0])
+        stream = prefetcher.run(tasks)
+        try:
+            for j in range(P):
+                column = next(stream)
+                if admit:
+                    # Admissions first: residency and priorities at this
+                    # point are exactly what a serial sweep would see
+                    # (nothing between column start and each put touches
+                    # the buffer), and opening the gate here lets the
+                    # worker check column j+1's residency safely.
+                    for i, block, from_cache in column:
+                        if (
+                            i > j
+                            and not from_cache
+                            and block.nbytes <= engine.buffer.capacity_bytes
+                        ):
+                            priority = _count_active_edges(
+                                engine,
+                                block,
+                                frontier.mask if gate is not None else np.ones(n, bool),
+                            )
+                            engine.buffer.put((i, j), block, priority)
+                    gates[j].set()
 
-        engine.apply_interval(j, acc, touched, activated_mask)
+                diag_block = None
+                for i, block, _from_cache in column:
+                    engine._crash_point("mid-scatter")
+                    contrib, edge_mask = engine.gather_block(prev, block, gate_mask=gate)
+                    engine.combine_block(acc, touched, block, contrib, edge_mask)
+                    edges1 += block.count
+                    if do_cross and i < j:
+                        # Sources in interval i are final for iteration t:
+                        # push their t+1 contributions now (Algorithm 3,
+                        # lines 7-11).
+                        contrib2, mask2 = engine.gather_block(
+                            engine.state, block, gate_mask=activated_mask
+                        )
+                        engine.combine_block(acc_next, touched_next, block, contrib2, mask2)
+                    if i == j:
+                        diag_block = block  # held in memory (Algorithm 3, line 13)
 
-        if do_cross and diag_block is not None and diag_block.count:
-            # Interval j just finished updating; its diagonal block can
-            # now cross-push (Algorithm 3, lines 13-16).
-            contrib, edge_mask = engine.gather_block(engine.state, diag_block, gate_mask=activated_mask)
-            engine.combine_block(acc_next, touched_next, diag_block, contrib, edge_mask)
+                engine.apply_interval(j, acc, touched, activated_mask)
 
-        if engine.buffer_enabled:
-            # Interval j's activations are now known; re-rank the cached
-            # secondary blocks whose sources live in interval j (§4.3:
-            # "the priority ... automatically updated after the
-            # processing of this secondary sub-block").
-            for jj in range(j):
-                resident = engine.buffer._blocks.get((j, jj))
-                if resident is not None:
-                    engine.buffer.update_priority(
-                        (j, jj), _count_active_edges(engine, resident, activated_mask)
+                if do_cross and diag_block is not None and diag_block.count:
+                    # Interval j just finished updating; its diagonal block
+                    # can now cross-push (Algorithm 3, lines 13-16).
+                    contrib, edge_mask = engine.gather_block(
+                        engine.state, diag_block, gate_mask=activated_mask
                     )
+                    engine.combine_block(acc_next, touched_next, diag_block, contrib, edge_mask)
+
+                if engine.buffer_enabled:
+                    # Interval j's activations are now known; re-rank the
+                    # cached secondary blocks whose sources live in interval
+                    # j (§4.3: "the priority ... automatically updated after
+                    # the processing of this secondary sub-block").
+                    for jj in range(j):
+                        resident = engine.buffer._blocks.get((j, jj))
+                        if resident is not None:
+                            engine.buffer.update_priority(
+                                (j, jj), _count_active_edges(engine, resident, activated_mask)
+                            )
+        finally:
+            stream.close()
 
     engine._store_state()
     activated1 = int(np.count_nonzero(activated_mask))
@@ -184,13 +253,24 @@ def run_fciu_round(engine) -> VertexSubset:
 
     new_activated = np.zeros(n, dtype=bool)
     edges2 = 0
-    for j in range(P):
-        for i, block, _from_cache in _load_column_buffered(engine, j, j + 1):
-            engine._crash_point("mid-scatter")
-            contrib, edge_mask = engine.gather_block(prev2, block, gate_mask=gate2)
-            engine.combine_block(acc2, touched2, block, contrib, edge_mask)
-            edges2 += block.count
-        engine.apply_interval(j, acc2, touched2, new_activated)
+    prefetcher2 = engine.make_prefetcher()
+    # No gating: phase 2 never mutates the buffer, so lookahead residency
+    # checks are race-free.
+    tasks2 = _column_tasks(engine, prefetcher2, lambda j: j + 1)
+    with engine.overlap_region() as region2:
+        if region2 is not None:
+            tasks2[0] = region2.measure_fill(tasks2[0])
+        stream2 = prefetcher2.run(tasks2)
+        try:
+            for j in range(P):
+                for i, block, _from_cache in next(stream2):
+                    engine._crash_point("mid-scatter")
+                    contrib, edge_mask = engine.gather_block(prev2, block, gate_mask=gate2)
+                    engine.combine_block(acc2, touched2, block, contrib, edge_mask)
+                    edges2 += block.count
+                engine.apply_interval(j, acc2, touched2, new_activated)
+        finally:
+            stream2.close()
 
     engine._store_state()
     engine.end_iteration(

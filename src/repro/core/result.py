@@ -38,6 +38,11 @@ class IterationRecord:
     def io_bytes(self) -> int:
         return self.io.total_traffic
 
+    @property
+    def overlap_saved_seconds(self) -> float:
+        """Simulated time this iteration hid via I/O–compute overlap."""
+        return self.breakdown.overlap_saved
+
 
 @dataclass
 class RunResult:
@@ -77,6 +82,29 @@ class RunResult:
         """Total bytes moved (the Fig. 7 metric)."""
         return self.io.total_traffic
 
+    # -- prefetch-pipeline observability (mirrors the fault counters) -----
+
+    @property
+    def overlap_saved_seconds(self) -> float:
+        """Simulated time hidden by I/O–compute overlap (0 when serial)."""
+        return self.breakdown.overlap_saved
+
+    @property
+    def prefetch_issued(self) -> int:
+        return self.io.prefetch_issued
+
+    @property
+    def prefetch_hits(self) -> int:
+        return self.io.prefetch_hits
+
+    @property
+    def prefetch_wasted(self) -> int:
+        return self.io.prefetch_wasted
+
+    @property
+    def buffer_hit_bytes(self) -> int:
+        return self.io.buffer_hit_bytes
+
     @property
     def frontier_history(self) -> List[int]:
         return [r.frontier_size for r in self.per_iteration]
@@ -87,10 +115,15 @@ class RunResult:
 
     def summary(self) -> str:
         """One-line human-readable digest."""
+        overlap = (
+            f"overlap saved {self.overlap_saved_seconds:.3f}s, "
+            if self.overlap_saved_seconds > 0
+            else ""
+        )
         return (
             f"{self.engine}/{self.program}: {self.iterations} iters, "
             f"sim {self.sim_seconds:.3f}s (io {self.io_seconds:.3f}s, "
-            f"compute {self.compute_seconds:.3f}s), "
+            f"compute {self.compute_seconds:.3f}s), {overlap}"
             f"traffic {self.io_traffic / (1 << 20):.1f} MiB, "
             f"{'converged' if self.converged else 'iteration cap reached'}"
         )

@@ -22,11 +22,25 @@ vertex's latest value), exactly as the paper's ``CrossIterUpdate``;
 because contributions rest in the carried accumulator until the next
 apply, the state trajectory stays per-iteration identical to strict BSP
 (tested against the in-memory oracle).
+
+Plan-then-consume execution
+---------------------------
+The scatter phase first builds a *block plan* on the consuming thread:
+sub-block buffer hits are resolved immediately (residency is static
+during a round), and every remaining ``(i, j)`` pair becomes one load
+thunk (index access + selective edge load). The thunks then stream
+through the engine's :class:`~repro.storage.prefetch.BlockPrefetcher`
+inside a clock :class:`~repro.utils.timers.OverlapRegion` — with
+pipelining enabled, block ``k+1``'s index reads and gather-loads overlap
+with block ``k``'s gather/combine compute. The single in-order worker
+reproduces the serial disk-operation stream exactly, so injected faults
+fire identically and the existing GatherFault degradation path (retry
+budget exhausted → rolled back → full streaming) works unchanged.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List, Tuple
 
 import numpy as np
 
@@ -34,6 +48,28 @@ from repro.core.scheduler import INDEX_GATHER, INDEX_SPAN
 from repro.graph.grid import EdgeBlock
 from repro.storage.faults import FaultError, GatherFault
 from repro.utils.bitset import VertexSubset
+
+
+def _make_load_task(
+    engine, i: int, j: int, ids: np.ndarray, local: np.ndarray, mode: int,
+    lo_l: int, hi_l: int
+) -> Callable[[], EdgeBlock]:
+    """One plan entry: index access + selective load for block (i, j)."""
+    store = engine.store
+
+    def task() -> EdgeBlock:
+        if mode == INDEX_GATHER:
+            pairs = store.read_index_entries(i, j, local)
+        elif mode == INDEX_SPAN:
+            offsets = store.read_index_span(i, j, lo_l, hi_l + 1)
+            rel = local - lo_l
+            pairs = np.stack([offsets[rel], offsets[rel + 1]], axis=1)
+        else:
+            offsets = store.read_block_index(i, j)
+            pairs = np.stack([offsets[local], offsets[local + 1]], axis=1)
+        return engine.load_selective(i, j, ids, pairs)
+
+    return task
 
 
 def run_sciu_round(engine) -> VertexSubset:
@@ -62,45 +98,51 @@ def run_sciu_round(engine) -> VertexSubset:
         index_plan = engine.scheduler.plan_index_access(frontier)
         active_per_row = index_plan.active_per_row
 
-        retained: List[EdgeBlock] = []
-        edges_processed = 0
+        # ---- plan: resolve buffer hits, thunk everything else ----------
+        # Buffer residency is static during an SCIU round, so hits can be
+        # resolved here on the consuming thread; each miss becomes one
+        # load thunk executed (in plan order) by the prefetch worker.
+        plan: List[Tuple[int, int, EdgeBlock]] = []  # (i, j, resolved block or None)
+        tasks: List[Callable[[], EdgeBlock]] = []
         for i in range(store.P):
             if active_per_row[i] == 0:
                 continue
             lo, hi = intervals.bounds(i)
             ids = frontier.interval_indices(lo, hi)
             local = ids - lo
+            mode = int(index_plan.mode[i])
+            lo_l = int(index_plan.lo_local[i])
+            hi_l = int(index_plan.hi_local[i])
             for j in range(store.P):
                 if store.block_edge_count(i, j) == 0:
                     continue
-                engine._crash_point("mid-scatter")
                 buffered = engine.selective_from_buffer(i, j, ids)
-                if buffered is not None:
-                    if buffered.count:
-                        contrib, edge_mask = engine.gather_block(prev, buffered)
-                        engine.combine_block(acc, touched, buffered, contrib, edge_mask)
-                        retained.append(buffered)
-                        edges_processed += buffered.count
-                    continue
-                mode = int(index_plan.mode[i])
-                if mode == INDEX_GATHER:
-                    pairs = store.read_index_entries(i, j, local)
-                elif mode == INDEX_SPAN:
-                    lo_l = int(index_plan.lo_local[i])
-                    hi_l = int(index_plan.hi_local[i])
-                    offsets = store.read_index_span(i, j, lo_l, hi_l + 1)
-                    rel = local - lo_l
-                    pairs = np.stack([offsets[rel], offsets[rel + 1]], axis=1)
-                else:
-                    offsets = store.read_block_index(i, j)
-                    pairs = np.stack([offsets[local], offsets[local + 1]], axis=1)
-                block = engine.load_selective(i, j, ids, pairs)
-                if block.count == 0:
-                    continue
-                contrib, edge_mask = engine.gather_block(prev, block)
-                engine.combine_block(acc, touched, block, contrib, edge_mask)
-                retained.append(block)
-                edges_processed += block.count
+                plan.append((i, j, buffered))
+                if buffered is None:
+                    tasks.append(
+                        _make_load_task(engine, i, j, ids, local, mode, lo_l, hi_l)
+                    )
+
+        # ---- consume: gather/combine in plan order ---------------------
+        retained: List[EdgeBlock] = []
+        edges_processed = 0
+        prefetcher = engine.make_prefetcher()
+        with engine.overlap_region() as region:
+            if region is not None and tasks:
+                tasks[0] = region.measure_fill(tasks[0])
+            stream = prefetcher.run(tasks)
+            try:
+                for _i, _j, buffered in plan:
+                    engine._crash_point("mid-scatter")
+                    block = buffered if buffered is not None else next(stream)
+                    if block.count == 0:
+                        continue
+                    contrib, edge_mask = engine.gather_block(prev, block)
+                    engine.combine_block(acc, touched, block, contrib, edge_mask)
+                    retained.append(block)
+                    edges_processed += block.count
+            finally:
+                stream.close()
     except FaultError as exc:
         if carried_backup is not None:
             engine.acc_next, engine.touched_next = carried_backup
@@ -115,6 +157,11 @@ def run_sciu_round(engine) -> VertexSubset:
     cross_pushed = 0
     if engine.config.enable_cross_iteration:
         candidates = activated_mask & frontier.mask
+        # A sink (zero out-degree) has nothing to pre-push: removing it
+        # from Out would leave no carried contributions behind, so the
+        # engine would skip the no-op iteration strict BSP still runs.
+        if engine.ctx.out_degrees is not None:
+            candidates &= engine.ctx.out_degrees > 0
         cross_pushed = int(np.count_nonzero(candidates))
         if cross_pushed:
             acc_next, touched_next = engine.acc_next, engine.touched_next

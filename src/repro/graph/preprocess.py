@@ -48,11 +48,32 @@ class PreprocessResult:
     intervals: VertexIntervals
     breakdown: TimeBreakdown
     wall_seconds: float
+    #: Out-degrees computed during the (already charged) partition pass.
+    #: Pass :attr:`context` to the engine so it does not re-derive them
+    #: with a second charged full-graph scan.
+    out_degrees: Optional[np.ndarray] = None
 
     @property
     def store(self) -> GridStore:
         """The primary (first) representation."""
         return self.stores[0]
+
+    @property
+    def context(self):
+        """A :class:`~repro.algorithms.base.GraphContext` for engines.
+
+        Carries the degrees produced during preprocessing — constructing
+        an engine with ``ctx=result.context`` avoids the fallback charged
+        scan in :meth:`~repro.core.engine_base.EngineBase.build_context`.
+        """
+        from repro.algorithms.base import GraphContext
+
+        store = self.store
+        return GraphContext(
+            num_vertices=store.num_vertices,
+            num_edges=store.total_edges,
+            out_degrees=self.out_degrees,
+        )
 
     @property
     def sim_seconds(self) -> float:
@@ -84,8 +105,14 @@ def _run(
     before = device.disk.clock.snapshot()
     with WallTimer() as wall:
         stores = build()
+        # Degrees fall out of the partition pass (each edge's source is
+        # examined anyway), so no extra time is charged; carrying them
+        # saves every engine the fallback charged scan.
+        degrees = np.bincount(edges.src, minlength=edges.num_vertices).astype(np.int64)
     breakdown = device.disk.clock.snapshot() - before
-    return PreprocessResult(system, stores, intervals, breakdown, wall.elapsed)
+    return PreprocessResult(
+        system, stores, intervals, breakdown, wall.elapsed, out_degrees=degrees
+    )
 
 
 def _resolve_intervals(

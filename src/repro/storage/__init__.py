@@ -37,6 +37,7 @@ from repro.storage.faults import (
 )
 from repro.storage.iostats import IOStats
 from repro.storage.pagecache import PageCache, PageCacheStats
+from repro.storage.prefetch import BlockPrefetcher
 from repro.storage.blockfile import ArrayFile, Device
 
 __all__ = [
@@ -58,6 +59,7 @@ __all__ = [
     "DEFAULT_MACHINE",
     "IOStats",
     "PageCache",
+    "BlockPrefetcher",
     "PageCacheStats",
     "ArrayFile",
     "Device",

@@ -34,6 +34,16 @@ class IOStats:
     read_retries: int = 0
     write_retries: int = 0
     faults_injected: int = 0
+    # Prefetch-pipeline observability (see repro.storage.prefetch):
+    # thunks completed by the background worker, results already decoded
+    # when the consumer asked (wall-clock dependent — the only
+    # nondeterministic counter here), lookahead work cancelled before
+    # delivery, and bytes the block plan served from the §4.3 sub-block
+    # buffer instead of disk.
+    prefetch_issued: int = 0
+    prefetch_hits: int = 0
+    prefetch_wasted: int = 0
+    buffer_hit_bytes: int = 0
 
     # -- derived -----------------------------------------------------------
 

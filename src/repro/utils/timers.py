@@ -10,13 +10,33 @@ therefore keep two clocks side by side:
   modeled compute time. All reported "execution time" numbers in the
   benchmark tables come from this clock.
 * :class:`WallTimer` — real elapsed time, recorded alongside for sanity.
+
+Dual timelines and overlap regions
+----------------------------------
+Every component label maps to one of two *resources* — :data:`DISK`
+(``io_read``/``io_write``) or :data:`CPU` (everything else). In the
+default serial mode the clock simply sums all charges, exactly as
+before. Inside an :class:`OverlapRegion` (opened by an engine running
+its prefetch pipeline) the two resources are modeled as running
+concurrently: the region's contribution to total elapsed time is::
+
+    min(disk + cpu,  max(disk, cpu) + fill)
+
+where ``fill`` is the pipeline-fill latency (the I/O the consumer must
+wait for before the first block is available). The difference between
+the serial sum and the overlapped elapsed time accumulates in
+``overlap_saved`` — per-component charges are *never* rescaled, so
+breakdowns remain exact and ``total == sum(components) - overlap_saved``
+always holds. Charging is thread-safe: the prefetch worker charges DISK
+while the consuming engine thread charges CPU.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from typing import Callable, Dict, Optional, TypeVar
 
 from repro.utils.validation import check_nonneg
 
@@ -27,15 +47,44 @@ COMPUTE = "compute"
 SCHEDULING = "scheduling"
 PREPROCESS = "preprocess"
 
+#: The two modeled resources of the dual-timeline clock.
+DISK = "disk"
+CPU = "cpu"
+
+#: Which resource each component's charges occupy. Unknown (free-form)
+#: components default to CPU — only genuine disk transfers overlap with
+#: computation.
+RESOURCE_OF: Dict[str, str] = {
+    IO_READ: DISK,
+    IO_WRITE: DISK,
+    COMPUTE: CPU,
+    SCHEDULING: CPU,
+    PREPROCESS: CPU,
+}
+
+_T = TypeVar("_T")
+
 
 @dataclass
 class TimeBreakdown:
-    """An immutable snapshot of a :class:`SimClock`'s per-component times."""
+    """An immutable snapshot of a :class:`SimClock`'s per-component times.
+
+    ``overlap_saved`` is the simulated time hidden by I/O–compute
+    overlap up to the snapshot; components themselves are the full
+    (serial-equivalent) charges, so ``total`` already nets the saving
+    out while ``serial_total`` reports the un-overlapped sum.
+    """
 
     components: Dict[str, float] = field(default_factory=dict)
+    overlap_saved: float = 0.0
 
     @property
     def total(self) -> float:
+        return float(sum(self.components.values())) - self.overlap_saved
+
+    @property
+    def serial_total(self) -> float:
+        """The sum of all charges with no overlap credit (serial time)."""
         return float(sum(self.components.values()))
 
     @property
@@ -54,12 +103,84 @@ class TimeBreakdown:
     def __sub__(self, other: "TimeBreakdown") -> "TimeBreakdown":
         keys = set(self.components) | set(other.components)
         return TimeBreakdown(
-            {k: self.components.get(k, 0.0) - other.components.get(k, 0.0) for k in keys}
+            {k: self.components.get(k, 0.0) - other.components.get(k, 0.0) for k in keys},
+            overlap_saved=self.overlap_saved - other.overlap_saved,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(f"{k}={v:.4f}s" for k, v in sorted(self.components.items()))
-        return f"TimeBreakdown(total={self.total:.4f}s, {parts})"
+        saved = f", saved={self.overlap_saved:.4f}s" if self.overlap_saved else ""
+        return f"TimeBreakdown(total={self.total:.4f}s, {parts}{saved})"
+
+
+class OverlapRegion:
+    """One pipelined stretch of execution on a :class:`SimClock`.
+
+    While the region is open, charges are additionally bucketed into the
+    DISK and CPU timelines. On close, the region's overlap saving —
+    ``(disk + cpu) - min(disk + cpu, max(disk, cpu) + fill)`` — is
+    folded into the clock. ``fill`` is reported by the engine via
+    :meth:`add_fill` (typically through :meth:`measure_fill` wrapping the
+    first prefetch task), and is clamped so a region can never appear
+    slower than serial execution.
+    """
+
+    def __init__(self, clock: "SimClock") -> None:
+        self.clock = clock
+        self.disk_seconds = 0.0
+        self.cpu_seconds = 0.0
+        self.fill_seconds = 0.0
+        self._closed = False
+
+    # Called by SimClock.charge, under the clock lock.
+    def _absorb(self, component: str, seconds: float) -> None:
+        if RESOURCE_OF.get(component, CPU) == DISK:
+            self.disk_seconds += seconds
+        else:
+            self.cpu_seconds += seconds
+
+    def add_fill(self, seconds: float) -> None:
+        """Account pipeline-fill latency (I/O the consumer waits for)."""
+        check_nonneg(seconds, "seconds")
+        self.fill_seconds += seconds
+
+    def measure_fill(self, task: Callable[[], _T]) -> Callable[[], _T]:
+        """Wrap a prefetch task so its DISK charge is recorded as fill.
+
+        Valid because all in-region DISK charges come from the single
+        prefetch worker executing tasks in order: the DISK-timeline delta
+        around the task is exactly the task's own disk time.
+        """
+
+        def wrapped() -> _T:
+            before = self.clock.resource_elapsed(DISK)
+            result = task()
+            self.add_fill(self.clock.resource_elapsed(DISK) - before)
+            return result
+
+        return wrapped
+
+    @property
+    def serial_seconds(self) -> float:
+        return self.disk_seconds + self.cpu_seconds
+
+    @property
+    def pipelined_seconds(self) -> float:
+        return min(
+            self.serial_seconds,
+            max(self.disk_seconds, self.cpu_seconds) + self.fill_seconds,
+        )
+
+    @property
+    def saved_seconds(self) -> float:
+        return self.serial_seconds - self.pipelined_seconds
+
+    def __enter__(self) -> "OverlapRegion":
+        self.clock._open_region(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.clock._close_region(self)
 
 
 class SimClock:
@@ -67,34 +188,94 @@ class SimClock:
 
     Components are free-form string labels; the canonical ones are
     ``io_read``, ``io_write``, ``compute``, ``scheduling`` and
-    ``preprocess``. Charging a negative duration is an error.
+    ``preprocess``. Charging a negative duration is an error. Charging
+    is thread-safe (the prefetch pipeline charges disk time from a
+    background worker).
     """
 
     def __init__(self) -> None:
         self._components: Dict[str, float] = {}
+        self._overlap_saved = 0.0
+        self._lock = threading.Lock()
+        self._region: Optional[OverlapRegion] = None
 
     def charge(self, component: str, seconds: float) -> None:
         """Add ``seconds`` of simulated time to ``component``."""
         check_nonneg(seconds, "seconds")
-        self._components[component] = self._components.get(component, 0.0) + seconds
+        with self._lock:
+            self._components[component] = self._components.get(component, 0.0) + seconds
+            if self._region is not None:
+                self._region._absorb(component, seconds)
 
     def elapsed(self, component: Optional[str] = None) -> float:
-        """Total simulated seconds, or the seconds of one ``component``."""
-        if component is None:
-            return float(sum(self._components.values()))
-        return self._components.get(component, 0.0)
+        """Total simulated seconds, or the seconds of one ``component``.
+
+        The no-argument total nets out any overlap savings; individual
+        components always report their full charged time.
+        """
+        with self._lock:
+            if component is None:
+                return float(sum(self._components.values())) - self._overlap_saved
+            return self._components.get(component, 0.0)
+
+    def resource_elapsed(self, resource: str) -> float:
+        """Charged seconds on one timeline (:data:`DISK` or :data:`CPU`)."""
+        with self._lock:
+            return float(
+                sum(
+                    seconds
+                    for component, seconds in self._components.items()
+                    if RESOURCE_OF.get(component, CPU) == resource
+                )
+            )
+
+    @property
+    def overlap_saved(self) -> float:
+        """Cumulative simulated time hidden by I/O–compute overlap."""
+        with self._lock:
+            return self._overlap_saved
+
+    # -- overlap regions ---------------------------------------------------
+
+    def overlap_region(self) -> OverlapRegion:
+        """A context manager bracketing one pipelined execution stretch."""
+        return OverlapRegion(self)
+
+    def _open_region(self, region: OverlapRegion) -> None:
+        with self._lock:
+            if self._region is not None:
+                raise RuntimeError("overlap regions do not nest")
+            self._region = region
+
+    def _close_region(self, region: OverlapRegion) -> None:
+        with self._lock:
+            if self._region is not region:
+                raise RuntimeError("closing an overlap region that is not open")
+            region._closed = True
+            self._region = None
+            self._overlap_saved += region.saved_seconds
+
+    # -- snapshots / algebra ----------------------------------------------
 
     def snapshot(self) -> TimeBreakdown:
         """A copy of the current per-component times."""
-        return TimeBreakdown(dict(self._components))
+        with self._lock:
+            return TimeBreakdown(dict(self._components), overlap_saved=self._overlap_saved)
 
     def reset(self) -> None:
-        self._components.clear()
+        with self._lock:
+            self._components.clear()
+            self._overlap_saved = 0.0
 
     def merge(self, other: "SimClock") -> None:
         """Fold another clock's charges into this one."""
-        for component, seconds in other._components.items():
-            self._components[component] = self._components.get(component, 0.0) + seconds
+        with other._lock:
+            other_components = dict(other._components)
+            other_saved = other._overlap_saved
+        with self._lock:
+            for component, seconds in other_components.items():
+                self._components[component] = self._components.get(component, 0.0) + seconds
+            self._overlap_saved += other_saved
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimClock({self.snapshot()!r})"

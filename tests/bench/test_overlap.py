@@ -1,0 +1,55 @@
+"""The overlap benchmark: report shape, record schema, smoke guard."""
+
+import json
+
+from repro.bench import Harness
+from repro.bench.overlap import build_record, run_overlap_benchmark, smoke, main
+
+
+def test_overlap_report(tmp_path):
+    with Harness(P=4) as harness:
+        report = run_overlap_benchmark(
+            harness, dataset="twitter2010", algorithms=("pr",)
+        )
+    assert report.experiment_id == "overlap"
+    assert len(report.rows) == 1
+    assert "pr" in report.data["speedups"]
+    assert "WARNING" not in report.render()
+
+
+def test_bench_record_schema_and_invariants():
+    record = build_record(algorithms=("pr",), P=4)
+    assert record["bench_id"] == "BENCH_2"
+    entry = record["workloads"]["pr"]
+    assert entry["identical_results"] is True
+    for side in ("serial", "pipelined"):
+        for key in (
+            "sim_seconds",
+            "io_seconds",
+            "compute_seconds",
+            "overlap_saved_seconds",
+            "wall_seconds",
+            "io_traffic_bytes",
+            "prefetch_issued",
+            "prefetch_hits",
+            "prefetch_wasted",
+            "buffer_hit_bytes",
+        ):
+            assert key in entry[side], key
+    assert entry["pipelined"]["sim_seconds"] <= entry["serial"]["sim_seconds"]
+    assert entry["serial"]["overlap_saved_seconds"] == 0.0
+    # Per-component conservation between modes.
+    assert entry["serial"]["io_seconds"] == entry["pipelined"]["io_seconds"]
+    assert entry["serial"]["compute_seconds"] == entry["pipelined"]["compute_seconds"]
+
+
+def test_smoke_guard_passes(capsys):
+    assert smoke(P=4) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_main_writes_record(tmp_path, capsys):
+    out = tmp_path / "BENCH_2.json"
+    assert main(["--out", str(out), "-P", "4"]) == 0
+    payload = json.loads(out.read_text())
+    assert set(payload["workloads"]) == {"pr", "pr-d", "cc", "sssp"}

@@ -144,6 +144,21 @@ def test_equivalence_property(tmp_path_factory, n, density, P, seed, program):
     )
 
 
+def test_sink_activation_still_counts_final_iteration(tmp_path):
+    """A sink (zero out-degree) activated in an SCIU round has nothing to
+    cross-push; it must stay in Out so the engine still runs the no-op
+    iteration strict BSP runs (hypothesis-found: n=42, density=1, P=1)."""
+    rng = np.random.default_rng(0)
+    m = 42
+    edges = EdgeList(
+        42,
+        rng.integers(0, 42, m),
+        rng.integers(0, 42, m),
+        (rng.random(m).astype(np.float32) + 1e-3),
+    )
+    assert_equivalent(edges, ConnectedComponents, tmp_path, P=1, name="sink")
+
+
 def test_state_persistence_roundtrips_through_disk(rng, tmp_path):
     """Vertex values really cycle through files: corrupting the on-disk
     state between iterations must change the result."""

@@ -1,0 +1,173 @@
+"""The overlap layer's contract: pipelined == serial, bit for bit.
+
+The prefetch pipeline's single in-order worker reproduces the serial
+disk-operation stream exactly, so enabling ``--pipeline`` may change
+*when* work happens but never *what* happens: final values and state,
+iteration/model/frontier traces, every byte counter, and every
+per-component simulated time must match the serial run bit-for-bit.
+The only permitted differences are the net total (overlap hides time)
+and the prefetch observability counters themselves.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.algorithms import PageRank, SSSP
+from repro.core import GraphSDConfig, GraphSDEngine
+from repro.storage.blockfile import MAX_IO_RETRIES
+from repro.storage.faults import FaultInjector, FaultPlan, FaultSpec, SimulatedCrash
+from tests.conftest import build_store, random_edgelist
+from tests.core.test_engine_equivalence import PROGRAMS
+
+CONFIGS = {
+    "adaptive": GraphSDConfig,  # scheduler mixes SCIU and FCIU
+    "full": GraphSDConfig.baseline_b3,  # FCIU path pinned
+    "on-demand": GraphSDConfig.baseline_b4,  # SCIU path pinned
+}
+
+#: Wall-clock dependent / pipeline-only counters excluded from equality.
+PIPELINE_ONLY_COUNTERS = {"prefetch_issued", "prefetch_hits", "prefetch_wasted"}
+
+
+def _run_pair(rng_seed, make_program, tmp_path, make_config, name, depth=2,
+              fault_plan=None, num_vertices=250, num_edges=1800, P=4):
+    rng = np.random.default_rng(rng_seed)
+    edges = random_edgelist(rng, num_vertices, num_edges)
+    out = {}
+    for mode, pipeline in (("serial", False), ("pipelined", True)):
+        config = replace(
+            make_config(), pipeline=pipeline, prefetch_depth=depth
+        )
+        # Same store name in per-mode directories: on-disk file names
+        # (which fault messages embed) must match between modes.
+        store = build_store(edges, tmp_path / mode, P=P, name=name)
+        engine = GraphSDEngine(store, config=config)
+        if fault_plan is not None:
+            store.device.disk.injector = FaultInjector(fault_plan)
+        out[mode] = (engine.run(make_program()), store.device.disk.stats)
+    return out["serial"], out["pipelined"]
+
+
+def assert_bit_identical(serial, pipelined):
+    s_result, s_stats = serial
+    p_result, p_stats = pipelined
+
+    # Results and traces.
+    assert np.array_equal(s_result.values, p_result.values, equal_nan=True)
+    assert set(s_result.state) == set(p_result.state)
+    for key, arr in s_result.state.items():
+        assert np.array_equal(arr, p_result.state[key], equal_nan=True), key
+    assert s_result.iterations == p_result.iterations
+    assert s_result.converged == p_result.converged
+    assert s_result.model_history == p_result.model_history
+    assert s_result.frontier_history == p_result.frontier_history
+    assert s_result.fault_events == p_result.fault_events
+
+    # Byte/request counters (prefetch counters are pipeline-only).
+    from dataclasses import fields
+
+    for f in fields(s_stats):
+        if f.name in PIPELINE_ONLY_COUNTERS:
+            continue
+        assert getattr(s_stats, f.name) == getattr(p_stats, f.name), f.name
+
+    # Per-component simulated time, bit for bit; totals may only shrink.
+    assert s_result.breakdown.components == p_result.breakdown.components
+    assert p_result.sim_seconds <= s_result.sim_seconds
+    assert p_result.overlap_saved_seconds == pytest.approx(
+        s_result.sim_seconds - p_result.sim_seconds
+    )
+
+
+@pytest.mark.parametrize("config_name", list(CONFIGS))
+@pytest.mark.parametrize("program", list(PROGRAMS))
+def test_pipelined_run_is_bit_identical(tmp_path, program, config_name):
+    serial, pipelined = _run_pair(
+        12345,
+        PROGRAMS[program],
+        tmp_path,
+        CONFIGS[config_name],
+        f"{program}-{config_name}"[:24],
+    )
+    assert_bit_identical(serial, pipelined)
+
+
+@pytest.mark.parametrize("depth", [1, 4])
+def test_equivalence_holds_at_any_depth(tmp_path, depth):
+    serial, pipelined = _run_pair(
+        7, lambda: SSSP(source=0), tmp_path, GraphSDConfig, f"d{depth}", depth=depth
+    )
+    assert_bit_identical(serial, pipelined)
+
+
+def test_pipelined_pagerank_is_strictly_faster_on_hdd(tmp_path):
+    """The acceptance workload: I/O-bound PR must actually save time."""
+    serial, pipelined = _run_pair(
+        99, lambda: PageRank(iterations=5), tmp_path, GraphSDConfig, "speed",
+        num_vertices=2000, num_edges=60000, P=8,
+    )
+    assert_bit_identical(serial, pipelined)
+    (s_result, _), (p_result, _) = serial, pipelined
+    assert p_result.sim_seconds < s_result.sim_seconds
+    assert p_result.overlap_saved_seconds > 0
+    assert p_result.prefetch_issued > 0
+
+
+def test_transient_faults_fire_identically_under_pipeline(tmp_path):
+    """Retries and fault events are keyed to the op stream: must match."""
+    plan = FaultPlan(
+        specs=(FaultSpec("transient-read", "*.edges", at_op=2, count=2),)
+    )
+    serial, pipelined = _run_pair(
+        11, lambda: SSSP(source=0), tmp_path, GraphSDConfig, "tf",
+        fault_plan=plan,
+    )
+    assert_bit_identical(serial, pipelined)
+    assert serial[1].read_retries == 2  # the plan actually fired
+    assert serial[1].faults_injected == pipelined[1].faults_injected
+
+
+def test_gather_fault_degradation_identical_under_pipeline(tmp_path):
+    """Retry exhaustion -> GatherFault -> full-streaming fallback, both modes."""
+    plan = FaultPlan(
+        specs=(FaultSpec("transient-read", "*.edges", count=MAX_IO_RETRIES + 1),)
+    )
+    serial, pipelined = _run_pair(
+        13,
+        lambda: SSSP(source=0),
+        tmp_path,
+        GraphSDConfig.baseline_b4,
+        "gf",
+        fault_plan=plan,
+    )
+    assert_bit_identical(serial, pipelined)
+    s_result = serial[0]
+    assert s_result.fault_events and "full streaming" in s_result.fault_events[0]
+    assert serial[1].read_retries == MAX_IO_RETRIES
+
+
+def test_injected_crash_fires_at_same_point_under_pipeline(tmp_path):
+    """A mid-scatter SimulatedCrash kills both modes after identical I/O."""
+    rng = np.random.default_rng(21)
+    edges = random_edgelist(rng, 250, 1800)
+    stats = {}
+    for mode, pipeline in (("serial", False), ("pipelined", True)):
+        store = build_store(edges, tmp_path, P=4, name=f"crash-{mode}")
+        engine = GraphSDEngine(
+            store, config=GraphSDConfig(pipeline=pipeline)
+        )
+        store.device.disk.injector = FaultInjector(
+            FaultPlan(crash_points={"mid-scatter": 5})
+        )
+        with pytest.raises(SimulatedCrash):
+            engine.run(SSSP(source=0))
+        stats[mode] = store.device.disk.stats
+    s, p = stats["serial"], stats["pipelined"]
+    # The crash point is polled on the consuming thread in plan order;
+    # consumed work up to the crash is identical. The pipelined worker
+    # may have *read* ahead of the crash (speculative lookahead), never
+    # behind it.
+    assert p.bytes_read_seq + p.bytes_read_ran >= s.bytes_read_seq + s.bytes_read_ran
+    assert s.bytes_written_seq == p.bytes_written_seq

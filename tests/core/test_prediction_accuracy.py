@@ -80,3 +80,90 @@ def test_decisions_are_never_badly_wrong(rng, tmp_path):
         )
         assert rec.breakdown.io + rec.breakdown.compute <= 1.6 * losing_prediction
         idx += 2 if rec.model == "fciu" else 1
+
+
+# -- overlapped predictions (the Fig. 10 property under --pipeline) ------
+
+
+@pytest.mark.parametrize("pipeline", [False, True])
+def test_full_model_prediction_matches_charged_time_both_modes(
+    rng, tmp_path, pipeline
+):
+    """C_s predicts the *overlapped* per-iteration time when pipelining.
+
+    Graph sized so the pipeline genuinely saves time (compute per column
+    exceeds the fill), making the pipelined branch of the formula live.
+    """
+    from repro.algorithms import PageRank
+
+    store = build_store(
+        random_edgelist(rng, 2000, 60000), tmp_path, P=8, name="ov"
+    )
+    engine = GraphSDEngine(
+        store,
+        config=GraphSDConfig(
+            enable_cross_iteration=False,
+            enable_buffering=False,
+            force_model=IOModel.FULL,
+            pipeline=pipeline,
+        ),
+    )
+    result = engine.run(PageRank(iterations=4))
+    predicted = engine.scheduler.full_cost()
+    saw_overlap = False
+    for rec in result.per_iteration:
+        actual = (
+            rec.breakdown.io + rec.breakdown.compute - rec.breakdown.overlap_saved
+        )
+        assert actual == pytest.approx(predicted, rel=0.10)
+        saw_overlap |= rec.breakdown.overlap_saved > 0
+    assert saw_overlap == pipeline  # serial saves nothing; pipelined must
+
+
+@pytest.mark.parametrize("pipeline", [False, True])
+def test_on_demand_prediction_tracks_charged_time_both_modes(
+    rng, tmp_path, pipeline
+):
+    store = build_store(
+        random_edgelist(rng, 600, 7000), tmp_path, P=4, name="ovd"
+    )
+    engine = GraphSDEngine(store, config=GraphSDConfig(pipeline=pipeline))
+    result = engine.run(SSSP(source=0))
+    records = result.per_iteration
+    idx = 0
+    checked = 0
+    for est in engine.cost_estimates:
+        rec = records[idx]
+        predicted = (
+            est.c_on_demand if est.chosen is IOModel.ON_DEMAND else est.c_full
+        )
+        actual = (
+            rec.breakdown.io + rec.breakdown.compute - rec.breakdown.overlap_saved
+        )
+        assert 0.3 * predicted <= actual <= 1.6 * predicted, (
+            rec.model,
+            predicted,
+            actual,
+        )
+        checked += 1
+        idx += 2 if rec.model == "fciu" else 1
+    assert checked >= 3
+
+
+def test_overlapped_formula_matches_clock_model():
+    """The scheduler's static helper mirrors the OverlapRegion arithmetic."""
+    from repro.core.scheduler import StateAwareScheduler
+    from repro.utils.timers import COMPUTE, IO_READ, SimClock
+
+    cases = [(2.0, 3.0, 0.5), (3.0, 2.0, 0.25), (1.0, 0.1, 10.0), (0.0, 1.0, 0.0)]
+    for io, compute, fill in cases:
+        clock = SimClock()
+        with clock.overlap_region() as region:
+            if io:
+                clock.charge(IO_READ, io)
+            if compute:
+                clock.charge(COMPUTE, compute)
+            region.add_fill(fill)
+        assert StateAwareScheduler.overlapped(io, compute, fill) == pytest.approx(
+            clock.elapsed()
+        )

@@ -1,0 +1,157 @@
+"""BlockPrefetcher: ordering, bounds, error delivery, no deadlocks."""
+
+import threading
+import time
+
+import pytest
+
+from repro.storage.iostats import IOStats
+from repro.storage.prefetch import BlockPrefetcher
+
+
+def _tasks(results):
+    return [lambda r=r: r for r in results]
+
+
+def test_depth_zero_runs_inline_on_consumer_thread():
+    seen = []
+    main = threading.get_ident()
+
+    def task():
+        seen.append(threading.get_ident())
+        return "x"
+
+    out = list(BlockPrefetcher(depth=0).run([task, task]))
+    assert out == ["x", "x"]
+    assert seen == [main, main]
+
+
+@pytest.mark.parametrize("depth", [1, 2, 5])
+def test_threaded_delivery_preserves_plan_order(depth):
+    results = list(range(20))
+    out = list(BlockPrefetcher(depth=depth).run(_tasks(results)))
+    assert out == results
+
+
+def test_worker_runs_off_the_consumer_thread():
+    main = threading.get_ident()
+    seen = []
+
+    def task():
+        seen.append(threading.get_ident())
+
+    list(BlockPrefetcher(depth=1).run([task]))
+    assert seen and seen[0] != main
+
+
+def test_lookahead_is_bounded_by_depth():
+    """At most depth results may be completed but unconsumed."""
+    started = []
+
+    def make(i):
+        def task():
+            started.append(i)
+            return i
+
+        return task
+
+    prefetcher = BlockPrefetcher(depth=2)
+    stream = prefetcher.run([make(i) for i in range(10)])
+    try:
+        assert next(stream) == 0
+        # Worker may complete the consumed one + depth queued + one in
+        # flight; it must not run arbitrarily far ahead.
+        deadline = time.time() + 1.0
+        while len(started) < 4 and time.time() < deadline:
+            time.sleep(0.005)
+        time.sleep(0.05)
+        assert len(started) <= 5
+    finally:
+        stream.close()
+
+
+def test_error_raised_at_consumption_point_in_order():
+    calls = []
+
+    def good():
+        calls.append("good")
+        return 1
+
+    def bad():
+        calls.append("bad")
+        raise OSError("disk died")
+
+    def never():
+        calls.append("never")  # pragma: no cover
+
+    stream = BlockPrefetcher(depth=2).run([good, bad, never])
+    assert next(stream) == 1
+    with pytest.raises(OSError, match="disk died"):
+        next(stream)
+    # The worker stops at the first error: no reads past a failed op.
+    assert calls == ["good", "bad"]
+
+
+def test_base_exception_is_delivered_not_swallowed():
+    class Crash(BaseException):
+        pass
+
+    def task():
+        raise Crash()
+
+    with pytest.raises(Crash):
+        list(BlockPrefetcher(depth=1).run([task]))
+
+
+def test_early_close_joins_worker_and_counts_wasted():
+    stats = IOStats()
+    prefetcher = BlockPrefetcher(depth=3, stats=stats)
+    stream = prefetcher.run(_tasks(list(range(10))))
+    assert next(stream) == 0
+    # Give the worker time to fill its lookahead queue.
+    deadline = time.time() + 1.0
+    while stats.prefetch_issued < 4 and time.time() < deadline:
+        time.sleep(0.005)
+    stream.close()
+    assert prefetcher.cancelled.is_set()
+    assert threading.active_count() >= 1  # no crash; worker joined in close
+    # Everything issued but never delivered was speculative lookahead.
+    assert stats.prefetch_wasted == stats.prefetch_issued - 1
+    assert stats.prefetch_hits + stats.prefetch_wasted <= stats.prefetch_issued
+
+
+def test_hits_counted_when_result_was_ready():
+    stats = IOStats()
+    prefetcher = BlockPrefetcher(depth=2, stats=stats)
+    stream = prefetcher.run(_tasks([1, 2, 3]))
+    # Let the worker finish everything before we consume.
+    deadline = time.time() + 1.0
+    while stats.prefetch_issued < 3 and time.time() < deadline:
+        time.sleep(0.005)
+    assert list(stream) == [1, 2, 3]
+    assert stats.prefetch_issued == 3
+    assert stats.prefetch_hits >= 2  # queue (depth 2) was full and ready
+
+
+def test_gated_task_aborts_on_cancellation_instead_of_deadlocking():
+    gate = threading.Event()  # never set
+    prefetcher = BlockPrefetcher(depth=1)
+
+    def gated():
+        prefetcher.wait_gate(gate)
+        return "unreachable"
+
+    stream = prefetcher.run([lambda: "first", gated])
+    assert next(stream) == "first"
+    stream.close()  # must cancel the blocked worker and join promptly
+    assert prefetcher.cancelled.is_set()
+
+
+def test_empty_plan():
+    assert list(BlockPrefetcher(depth=0).run([])) == []
+    assert list(BlockPrefetcher(depth=2).run([])) == []
+
+
+def test_negative_depth_rejected():
+    with pytest.raises(ValueError):
+        BlockPrefetcher(depth=-1)

@@ -109,3 +109,73 @@ def test_preprocess_with_checksums_writes_sidecars(tmp_path):
     )
     assert rc == 0
     assert list((tmp_path / "rep").glob("*.crc"))
+
+
+def test_run_pipeline_flags(tmp_path, capsys):
+    json_path = tmp_path / "piped.json"
+    rc = main(
+        [
+            "run",
+            "--dataset",
+            "twitter2010",
+            "--algorithm",
+            "pr",
+            "--pipeline",
+            "--prefetch-depth",
+            "3",
+            "--verify",
+            "--json",
+            str(json_path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "overlap saved" in out
+    payload = json.loads(json_path.read_text())
+    assert payload["pipeline"] is True
+    assert payload["overlap_saved_seconds"] > 0
+    assert payload["prefetch_issued"] > 0
+
+
+def test_no_pipeline_flag_is_serial(capsys):
+    rc = main(
+        ["run", "--dataset", "twitter2010", "--algorithm", "bfs", "--no-pipeline"]
+    )
+    assert rc == 0
+    assert "overlap saved" not in capsys.readouterr().out
+
+
+def test_pipeline_with_zero_depth_exits_readably(capsys):
+    rc = main(
+        [
+            "run",
+            "--dataset",
+            "twitter2010",
+            "--algorithm",
+            "bfs",
+            "--pipeline",
+            "--prefetch-depth",
+            "0",
+        ]
+    )
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "prefetch_depth" in err
+
+
+def test_baselines_reject_pipeline_readably(capsys):
+    rc = main(
+        [
+            "run",
+            "--dataset",
+            "twitter2010",
+            "--algorithm",
+            "bfs",
+            "--system",
+            "gridgraph",
+            "--pipeline",
+        ]
+    )
+    assert rc == 2
+    assert "does not support --pipeline" in capsys.readouterr().err

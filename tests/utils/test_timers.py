@@ -6,6 +6,8 @@ import pytest
 
 from repro.utils.timers import (
     COMPUTE,
+    CPU,
+    DISK,
     IO_READ,
     IO_WRITE,
     SCHEDULING,
@@ -85,3 +87,154 @@ def test_walltimer_misuse_raises():
     t.start()
     with pytest.raises(RuntimeError):
         t.start()
+
+
+# -- dual timelines and overlap regions ---------------------------------
+
+
+def test_resource_elapsed_splits_disk_and_cpu():
+    c = SimClock()
+    c.charge(IO_READ, 1.0)
+    c.charge(IO_WRITE, 0.5)
+    c.charge(COMPUTE, 2.0)
+    c.charge(SCHEDULING, 0.25)
+    c.charge("custom-label", 0.25)  # unknown components are CPU
+    assert c.resource_elapsed(DISK) == pytest.approx(1.5)
+    assert c.resource_elapsed(CPU) == pytest.approx(2.5)
+
+
+def test_overlap_region_hides_min_of_io_and_compute():
+    """io 2s + compute 3s + fill 0.5s -> total 3.5s, saved 1.5s."""
+    c = SimClock()
+    with c.overlap_region() as region:
+        c.charge(IO_READ, 2.0)
+        c.charge(COMPUTE, 3.0)
+        region.add_fill(0.5)
+    assert c.overlap_saved == pytest.approx(1.5)
+    assert c.elapsed() == pytest.approx(3.5)
+    # Per-component breakdowns stay exact (conservation).
+    assert c.elapsed(IO_READ) == pytest.approx(2.0)
+    assert c.elapsed(COMPUTE) == pytest.approx(3.0)
+    snap = c.snapshot()
+    assert snap.serial_total == pytest.approx(5.0)
+    assert snap.total == pytest.approx(snap.serial_total - snap.overlap_saved)
+
+
+def test_overlap_region_never_slower_than_serial():
+    """A huge fill is clamped: the region charges at most the serial sum."""
+    c = SimClock()
+    with c.overlap_region() as region:
+        c.charge(IO_READ, 1.0)
+        c.charge(COMPUTE, 0.1)
+        region.add_fill(10.0)
+    assert c.overlap_saved == 0.0
+    assert c.elapsed() == pytest.approx(1.1)
+
+
+def test_overlap_region_with_one_idle_resource_saves_nothing():
+    c = SimClock()
+    with c.overlap_region():
+        c.charge(IO_READ, 2.0)  # no compute to hide
+    assert c.overlap_saved == 0.0
+    c2 = SimClock()
+    with c2.overlap_region():
+        c2.charge(COMPUTE, 2.0)  # no I/O to hide behind
+    assert c2.overlap_saved == 0.0
+
+
+def test_charges_outside_region_are_serial():
+    c = SimClock()
+    c.charge(IO_READ, 1.0)
+    with c.overlap_region():
+        c.charge(IO_READ, 1.0)
+        c.charge(COMPUTE, 1.0)
+    c.charge(COMPUTE, 1.0)
+    # Only the in-region min(io, compute) is hidden (no fill declared).
+    assert c.overlap_saved == pytest.approx(1.0)
+    assert c.elapsed() == pytest.approx(3.0)
+
+
+def test_overlap_regions_do_not_nest():
+    c = SimClock()
+    with c.overlap_region():
+        with pytest.raises(RuntimeError, match="nest"):
+            c.overlap_region().__enter__()
+
+
+def test_measure_fill_records_task_disk_time():
+    c = SimClock()
+    with c.overlap_region() as region:
+        def first_load():
+            c.charge(IO_READ, 0.25)
+            c.charge(COMPUTE, 0.5)  # decode compute is not fill
+            return "block"
+
+        wrapped = region.measure_fill(first_load)
+        assert wrapped() == "block"
+        c.charge(IO_READ, 1.75)
+        c.charge(COMPUTE, 2.5)
+    assert region.fill_seconds == pytest.approx(0.25)
+    # serial 5.0, pipelined max(2.0, 3.0) + 0.25 = 3.25
+    assert c.overlap_saved == pytest.approx(1.75)
+
+
+def test_retry_backoff_lands_on_disk_timeline_inside_region():
+    """Fault-injection retry back-off is disk time: it must overlap."""
+    from repro.storage import SimulatedDisk, HDD_PROFILE
+
+    disk = SimulatedDisk(HDD_PROFILE)
+    c = disk.clock
+    with c.overlap_region() as region:
+        disk.charge_retry_backoff(0.05)
+        c.charge(COMPUTE, 10.0)
+    assert region.disk_seconds > 0.0
+    assert c.overlap_saved == pytest.approx(region.disk_seconds)
+
+
+def test_snapshot_algebra_carries_overlap_saved():
+    c = SimClock()
+    with c.overlap_region():
+        c.charge(IO_READ, 2.0)
+        c.charge(COMPUTE, 1.0)
+    before = c.snapshot()
+    with c.overlap_region():
+        c.charge(IO_READ, 4.0)
+        c.charge(COMPUTE, 3.0)
+    diff = c.snapshot() - before
+    assert diff.overlap_saved == pytest.approx(3.0)
+    assert diff.total == pytest.approx(7.0 - 3.0)
+    assert diff.serial_total == pytest.approx(7.0)
+
+
+def test_merge_and_reset_carry_overlap_saved():
+    a, b = SimClock(), SimClock()
+    with b.overlap_region():
+        b.charge(IO_READ, 1.0)
+        b.charge(COMPUTE, 1.0)
+    a.merge(b)
+    assert a.overlap_saved == pytest.approx(1.0)
+    assert a.elapsed() == pytest.approx(1.0)
+    a.reset()
+    assert a.overlap_saved == 0.0
+
+
+def test_concurrent_charging_is_consistent():
+    """Worker charges DISK while the consumer charges CPU (smoke)."""
+    import threading
+
+    c = SimClock()
+    n = 200
+
+    def io_worker():
+        for _ in range(n):
+            c.charge(IO_READ, 0.001)
+
+    with c.overlap_region():
+        t = threading.Thread(target=io_worker)
+        t.start()
+        for _ in range(n):
+            c.charge(COMPUTE, 0.002)
+        t.join()
+    assert c.elapsed(IO_READ) == pytest.approx(n * 0.001)
+    assert c.elapsed(COMPUTE) == pytest.approx(n * 0.002)
+    assert c.overlap_saved == pytest.approx(n * 0.001)
