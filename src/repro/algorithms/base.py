@@ -54,6 +54,14 @@ class Combine(enum.Enum):
         return 0.0 if self is Combine.ADD else np.inf
 
 
+#: ADD blocks with fewer than ``acc.size / SPARSE_ADD_RATIO`` edges take
+#: the ``np.add.at`` path: bincount allocates and scans a full
+#: accumulator-length array per call, which dominates when a block
+#: touches a handful of destinations (late SCIU iterations, tiny
+#: frontiers). Dense blocks keep bincount's single C pass.
+SPARSE_ADD_RATIO = 8
+
+
 def scatter_combine(
     combine: Combine,
     acc: np.ndarray,
@@ -62,13 +70,19 @@ def scatter_combine(
 ) -> None:
     """Reduce per-edge ``contributions`` into ``acc`` at ``dst_local``.
 
-    ``ADD`` uses :func:`numpy.bincount` (a single C pass); ``MIN`` uses
-    the ufunc ``at`` reduction. Both tolerate repeated destinations.
+    ``ADD`` uses :func:`numpy.bincount` (a single C pass) for dense
+    blocks and the ufunc ``at`` reduction below the density threshold;
+    ``MIN`` always uses ``at``. All paths tolerate repeated
+    destinations. The ADD dispatch depends only on sizes, so identical
+    block streams reduce identically regardless of execution mode.
     """
     if dst_local.size == 0:
         return
     if combine is Combine.ADD:
-        acc += np.bincount(dst_local, weights=contributions, minlength=acc.shape[0])
+        if dst_local.size * SPARSE_ADD_RATIO < acc.shape[0]:
+            np.add.at(acc, dst_local, contributions)
+        else:
+            acc += np.bincount(dst_local, weights=contributions, minlength=acc.shape[0])
     else:
         np.minimum.at(acc, dst_local, contributions)
 

@@ -1,0 +1,251 @@
+"""Encoding benchmark: raw vs. compact sub-block layout (the PR-3 figure).
+
+Runs every workload on identical graphs under both on-disk encodings
+(see ``docs/STORAGE.md``) and across the system configurations that
+exercise every load path — the adaptive scheduler, the FCIU-pinned b3
+ablation (full streams + buffer), and the SCIU-pinned b4 ablation
+(selective index-range gathers) — serial and pipelined. The compact
+decoder produces :class:`~repro.graph.grid.EdgeBlock` objects
+bit-identical to the raw decoder's, so every run pair must agree
+bit-for-bit on values and iteration counts; pinned ablations must also
+replay the exact model schedule. The only other permitted differences
+are byte volume, the times that follow from it, and (adaptive only)
+model choices at the shifted full-vs-on-demand crossover.
+
+``python -m repro.bench.encoding`` writes the machine-readable record
+``BENCH_3.json`` (on-disk byte ratios + per-workload sim/wall deltas);
+``--smoke`` builds both layouts on a small R-MAT graph, asserts
+identical PageRank/SSSP results and encoded < raw bytes, and exits
+nonzero on any violation — the CI guard for the encoding layer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bench.harness import Harness, WORKLOADS
+from repro.bench.reporting import compare_times
+from repro.core import RunResult
+
+#: All seven evaluation workloads: the encoding must be invisible to
+#: every algorithm, not just the paper's headline four.
+RECORD_ALGOS: Sequence[str] = ("pr", "pr-d", "cc", "sssp", "bfs", "sswp", "ppr")
+#: Adaptive + the two pinned ablations: together they cover full
+#: streams, buffered re-reads, and selective index-range gathers.
+RECORD_SYSTEMS: Sequence[str] = ("graphsd", "graphsd-b3", "graphsd-b4")
+RECORD_DATASET = "twitter2010"
+BENCH_ID = "BENCH_3"
+
+
+def _identical(raw: RunResult, compact: RunResult, same_models: bool) -> bool:
+    """Bit-identical values and identical computed trajectory.
+
+    Byte-dependent quantities (traffic, io_seconds) legitimately differ
+    between encodings; everything the computation produces must not.
+    ``same_models`` additionally requires identical per-iteration model
+    choices and frontier accounting — demanded of the pinned ablations
+    (their schedule is forced), but not of the adaptive scheduler: its
+    full-vs-on-demand crossover legitimately moves when the byte model
+    shrinks full sweeps more than selective gathers, and FCIU's merged
+    double-iterations record frontier sizes differently than SCIU's
+    strict-BSP rounds do.
+    """
+    return (
+        bool(np.array_equal(raw.values, compact.values, equal_nan=True))
+        and raw.iterations == compact.iterations
+        and (
+            not same_models
+            or (
+                raw.model_history == compact.model_history
+                and raw.frontier_history == compact.frontier_history
+            )
+        )
+    )
+
+
+def _bytes_entry(harness_raw: Harness, harness_compact: Harness, dataset: str) -> Dict[str, object]:
+    """On-disk edge-byte figures for the unweighted and weighted grids."""
+    entry: Dict[str, object] = {}
+    for label, workload in (("unweighted", WORKLOADS["pr"]), ("weighted", WORKLOADS["sssp"])):
+        raw_store, _ = harness_raw.preprocess("graphsd", dataset, workload)
+        compact_store, _ = harness_compact.preprocess("graphsd", dataset, workload)
+        entry[label] = {
+            "raw_edge_bytes": raw_store.total_edge_bytes,
+            "compact_edge_bytes": compact_store.total_edge_bytes,
+            "reduction": raw_store.total_edge_bytes / compact_store.total_edge_bytes,
+            "edges": raw_store.total_edges,
+        }
+    return entry
+
+
+def build_record(
+    dataset: str = RECORD_DATASET,
+    algorithms: Sequence[str] = RECORD_ALGOS,
+    systems: Sequence[str] = RECORD_SYSTEMS,
+    P: int = 8,
+) -> Dict[str, object]:
+    """The ``BENCH_3.json`` payload.
+
+    One harness per encoding (shared preprocessing and run caches, like
+    a user reusing an on-disk representation across runs); every
+    (algorithm, system, pipeline) cell is run under both encodings and
+    checked for bit-identical results.
+    """
+    with Harness(P=P, encoding="raw") as h_raw, Harness(P=P, encoding="compact") as h_comp:
+        record: Dict[str, object] = {
+            "bench_id": BENCH_ID,
+            "description": "raw vs. compact (CSR-style local-ID) sub-block encoding",
+            "dataset": dataset,
+            "partitions": P,
+            "machine": "default (HDD profile)",
+            "on_disk_bytes": _bytes_entry(h_raw, h_comp, dataset),
+            "workloads": {},
+        }
+        for algo in algorithms:
+            algo_entry: Dict[str, object] = {}
+            for system in systems:
+                for pipeline in (False, True):
+                    raw = h_raw.run(system, algo, dataset, pipeline=pipeline)
+                    comp = h_comp.run(system, algo, dataset, pipeline=pipeline)
+                    cmp = compare_times(
+                        raw.sim_seconds, comp.sim_seconds,
+                        raw.wall_seconds, comp.wall_seconds,
+                    )
+                    algo_entry[f"{system}{'+pipeline' if pipeline else ''}"] = {
+                        "raw_sim_seconds": raw.sim_seconds,
+                        "compact_sim_seconds": comp.sim_seconds,
+                        "raw_io_bytes": raw.io_traffic,
+                        "compact_io_bytes": comp.io_traffic,
+                        "sim_speedup": cmp.sim_speedup,
+                        "wall_speedup": cmp.wall_speedup,
+                        "wall_delta_seconds": cmp.wall_delta_seconds,
+                        "wall_regressed": cmp.wall_regressed,
+                        "identical_results": _identical(
+                            raw, comp, same_models=(system != "graphsd")
+                        ),
+                        "same_model_choices": raw.model_history == comp.model_history,
+                    }
+            record["workloads"][algo] = algo_entry
+    return record
+
+
+def check_record(record: Dict[str, object]) -> List[str]:
+    """The PR's acceptance properties, as human-readable failures."""
+    failures: List[str] = []
+    unweighted = record["on_disk_bytes"]["unweighted"]
+    if unweighted["reduction"] < 1.8:
+        failures.append(
+            f"unweighted edge-byte reduction {unweighted['reduction']:.2f}x < 1.8x"
+        )
+    for algo, entry in record["workloads"].items():
+        for config, cell in entry.items():
+            if not cell["identical_results"]:
+                failures.append(f"{algo}/{config}: results differ between encodings")
+    return failures
+
+
+def smoke(scale: int = 11, edge_factor: float = 12.0, P: int = 4) -> int:
+    """CI guard: both layouts on a small R-MAT graph, engines must agree.
+
+    Builds raw and compact grids from one generated graph, runs
+    PageRank (unweighted) and SSSP (weighted) through the adaptive
+    engine on each, and requires bit-identical values plus
+    encoded bytes strictly below raw bytes. Exit 0 iff all hold.
+    """
+    import pathlib
+    import tempfile
+
+    from repro.algorithms import PageRank, SSSP
+    from repro.core import GraphSDEngine
+    from repro.datasets.rmat import rmat_edges
+    from repro.datasets.synthetic import with_uniform_weights
+    from repro.graph import GridStore, make_intervals
+    from repro.storage import Device
+
+    failures: List[str] = []
+    root = pathlib.Path(tempfile.mkdtemp(prefix="encoding-smoke-"))
+    for name, algo, weighted in (("pr", PageRank(iterations=5), False),
+                                 ("sssp", SSSP(source=0), True)):
+        edges = rmat_edges(scale, edge_factor, seed=42)
+        if weighted:
+            edges = with_uniform_weights(edges, seed=42)
+        intervals = make_intervals(edges, P)
+        results = {}
+        sizes = {}
+        for encoding in ("raw", "compact"):
+            store = GridStore.build(
+                edges, intervals, Device(root / f"{name}-{encoding}"),
+                prefix="g", indexed=True, encoding=encoding,
+            )
+            sizes[encoding] = store.total_edge_bytes
+            results[encoding] = GraphSDEngine(store).run(algo)
+        if not np.array_equal(
+            results["raw"].values, results["compact"].values, equal_nan=True
+        ):
+            failures.append(f"{name}: raw and compact values differ")
+        if sizes["compact"] >= sizes["raw"]:
+            failures.append(
+                f"{name}: compact {sizes['compact']} bytes not below raw {sizes['raw']}"
+            )
+        print(
+            f"{name}: raw {sizes['raw']} B -> compact {sizes['compact']} B "
+            f"({sizes['raw'] / sizes['compact']:.2f}x), identical="
+            f"{np.array_equal(results['raw'].values, results['compact'].values, equal_nan=True)}"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("OK: encodings agree, compact is smaller")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.encoding",
+        description="Raw vs. compact sub-block encoding benchmark (writes BENCH_3.json).",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_3.json", help="record path (default: BENCH_3.json)"
+    )
+    parser.add_argument("-P", "--partitions", type=int, default=8)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="build both layouts on a small R-MAT graph and exit nonzero "
+        "on divergent results or a size non-reduction",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return smoke()
+    record = build_record(P=args.partitions)
+    failures = check_record(record)
+    with open(args.out, "w") as f:
+        json.dump(record, f, indent=2)
+        f.write("\n")
+    bytes_entry = record["on_disk_bytes"]
+    for label in ("unweighted", "weighted"):
+        e = bytes_entry[label]
+        print(
+            f"{label}: {e['raw_edge_bytes']} B -> {e['compact_edge_bytes']} B "
+            f"({e['reduction']:.2f}x)"
+        )
+    for algo, entry in record["workloads"].items():
+        cell = entry["graphsd"]
+        print(
+            f"{algo}: sim {cell['raw_sim_seconds']:.3f}s -> "
+            f"{cell['compact_sim_seconds']:.3f}s ({cell['sim_speedup']:.2f}x, "
+            f"identical={cell['identical_results']})"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print(f"wrote {args.out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -41,6 +41,7 @@ from repro.graph import (
     preprocess_husgraph,
     preprocess_lumos,
 )
+from repro.graph.grid import ENCODINGS, ENCODING_RAW
 from repro.graph.degree import out_degrees
 from repro.storage import Device, MachineProfile, SimulatedDisk, DEFAULT_MACHINE
 from repro.utils.validation import require
@@ -165,6 +166,7 @@ class Harness:
         checksums: bool = False,
         pipeline: bool = False,
         prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
+        encoding: str = ENCODING_RAW,
     ) -> None:
         if workspace is None:
             self._tmpdir = tempfile.mkdtemp(prefix="graphsd-bench-")
@@ -174,12 +176,17 @@ class Harness:
             self.workspace = Path(workspace)
             self.workspace.mkdir(parents=True, exist_ok=True)
             self._owns_workspace = False
+        require(encoding in ENCODINGS, f"unknown grid encoding {encoding!r}")
         self.machine = machine
         self.P = P
         self.verify = verify
         self.checksums = checksums
         self.pipeline = pipeline
         self.prefetch_depth = prefetch_depth
+        #: Sub-block encoding for the graphsd representation. Baseline
+        #: representations (lumos, husgraph) always build raw grids —
+        #: the compared systems do not have the compact layout.
+        self.encoding = encoding
         self._stores: Dict[Tuple, Tuple[GridStore, PreprocessResult]] = {}
         self._edges: Dict[Tuple, EdgeList] = {}
         self._contexts: Dict[Tuple, GraphContext] = {}
@@ -214,17 +221,22 @@ class Harness:
         self, representation: str, dataset: str, workload: Workload
     ) -> Tuple[GridStore, PreprocessResult]:
         require(representation in _PREPROCESSORS, f"unknown representation {representation!r}")
-        key = (representation, dataset, workload.weighted, workload.symmetrize, self.P)
+        encoding = self.encoding if representation == "graphsd" else ENCODING_RAW
+        key = (
+            representation, dataset, workload.weighted, workload.symmetrize,
+            self.P, encoding,
+        )
         if key not in self._stores:
             edges = self.edges_for(dataset, workload)
             tag = f"{dataset}-{'w' if workload.weighted else 'u'}{'s' if workload.symmetrize else 'd'}"
             device = Device(
-                self.workspace / representation / tag,
+                self.workspace / representation / encoding / tag,
                 SimulatedDisk(self.machine.disk),
                 checksums=self.checksums,
             )
+            kwargs = {"encoding": encoding} if representation == "graphsd" else {}
             result = _PREPROCESSORS[representation](
-                edges, device, P=self.P, machine=self.machine
+                edges, device, P=self.P, machine=self.machine, **kwargs
             )
             self._stores[key] = (result.store, result)
         return self._stores[key]

@@ -50,6 +50,64 @@ def mib(nbytes: float) -> float:
     return nbytes / (1 << 20)
 
 
+#: Wall-clock ratios within this relative band count as noise, not a
+#: regression (wall time is measured, not simulated, so it jitters).
+WALL_REGRESSION_TOLERANCE = 0.01
+
+
+@dataclass(frozen=True)
+class TimeComparison:
+    """Simulated *and* real-wall deltas of one before/after pair.
+
+    Simulated speedups come from a deterministic clock and are exact;
+    wall times are real measurements of the harness process. An
+    optimization that improves the model but slows the implementation
+    shows up here as ``sim_speedup > 1`` with ``wall_regressed`` set —
+    the report must surface that, not average it away.
+    """
+
+    sim_before: float
+    sim_after: float
+    wall_before: float
+    wall_after: float
+
+    @property
+    def sim_speedup(self) -> float:
+        return self.sim_before / self.sim_after if self.sim_after else float("inf")
+
+    @property
+    def wall_speedup(self) -> float:
+        return self.wall_before / self.wall_after if self.wall_after else float("inf")
+
+    @property
+    def wall_delta_seconds(self) -> float:
+        """Positive when the 'after' side is *slower* in real time."""
+        return self.wall_after - self.wall_before
+
+    @property
+    def wall_regressed(self) -> bool:
+        """Real wall time got worse beyond the noise tolerance."""
+        return self.wall_speedup < 1.0 - WALL_REGRESSION_TOLERANCE
+
+    def describe(self, label: str = "") -> str:
+        prefix = f"{label}: " if label else ""
+        text = (
+            f"{prefix}sim {self.sim_speedup:.2f}x, "
+            f"wall {self.wall_speedup:.2f}x "
+            f"({self.wall_delta_seconds:+.4f}s)"
+        )
+        if self.wall_regressed:
+            text += " [WALL REGRESSION]"
+        return text
+
+
+def compare_times(
+    sim_before: float, sim_after: float, wall_before: float, wall_after: float
+) -> TimeComparison:
+    """Pair the simulated and wall deltas of a before/after experiment."""
+    return TimeComparison(sim_before, sim_after, wall_before, wall_after)
+
+
 @dataclass
 class ExperimentReport:
     """One table/figure worth of reproduced results."""

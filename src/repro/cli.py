@@ -40,6 +40,7 @@ from repro.bench.reporting import format_table
 from repro.core import DEFAULT_PREFETCH_DEPTH
 from repro.datasets import list_datasets, load_dataset, table3_rows
 from repro.graph import preprocess_graphsd, preprocess_husgraph, preprocess_lumos
+from repro.graph.grid import ENCODINGS, ENCODING_RAW
 from repro.storage import ChecksumError, Device, FaultError
 
 
@@ -58,7 +59,15 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
         "husgraph": preprocess_husgraph,
         "lumos": preprocess_lumos,
     }[args.system]
-    result = pipeline(edges, device, P=args.partitions)
+    if args.encoding != ENCODING_RAW and args.system != "graphsd":
+        print(
+            f"error: --encoding {args.encoding} is only supported by the "
+            "graphsd representation",
+            file=sys.stderr,
+        )
+        return 2
+    kwargs = {"encoding": args.encoding} if args.system == "graphsd" else {}
+    result = pipeline(edges, device, P=args.partitions, **kwargs)
     print(
         f"preprocessed {args.dataset} for {args.system}: "
         f"|V|={edges.num_vertices:,} |E|={edges.num_edges:,} P={args.partitions}"
@@ -76,6 +85,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         checksums=args.checksums,
         pipeline=args.pipeline,
         prefetch_depth=args.prefetch_depth,
+        encoding=args.encoding,
     )
     try:
         result = harness.run(args.system, args.algorithm, args.dataset)
@@ -192,6 +202,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="maintain CRC32 sidecars for every column file (see docs/ROBUSTNESS.md)",
     )
+    p.add_argument(
+        "--encoding",
+        default=ENCODING_RAW,
+        choices=list(ENCODINGS),
+        help="sub-block layout: raw global records or the compact "
+        "CSR-style local-ID format (graphsd only; see docs/STORAGE.md)",
+    )
     p.set_defaults(func=_cmd_preprocess)
 
     p = sub.add_parser("run", help="run one algorithm / dataset / system")
@@ -222,6 +239,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_PREFETCH_DEPTH,
         metavar="N",
         help="pipeline lookahead: max decoded blocks queued ahead of compute",
+    )
+    p.add_argument(
+        "--encoding",
+        default=ENCODING_RAW,
+        choices=list(ENCODINGS),
+        help="sub-block layout used for graphsd-representation systems",
     )
     p.set_defaults(func=_cmd_run)
 

@@ -64,6 +64,10 @@ class SubBlockBuffer:
     def priority_of(self, key: BlockKey) -> Optional[float]:
         return self._priority.get(key)
 
+    def size_of(self, key: BlockKey) -> Optional[int]:
+        """The byte size a resident block is accounted at (None if absent)."""
+        return self._sizes.get(key)
+
     # -- cache operations ----------------------------------------------
 
     def get(self, key: BlockKey) -> Optional[EdgeBlock]:
@@ -71,13 +75,26 @@ class SubBlockBuffer:
         block = self._blocks.get(key)
         if self.disk is not None:
             if block is not None:
-                self.disk.record_cache_hit(block.nbytes)
+                self.disk.record_cache_hit(self._sizes[key])
             else:
                 self.disk.record_cache_miss()
         return block
 
-    def put(self, key: BlockKey, block: EdgeBlock, priority: float) -> bool:
+    def put(
+        self,
+        key: BlockKey,
+        block: EdgeBlock,
+        priority: float,
+        nbytes: Optional[int] = None,
+    ) -> bool:
         """Insert (or refresh) a block.
+
+        ``nbytes`` sets the size the entry is accounted at against the
+        byte budget; it defaults to the decoded in-memory size, but a
+        caller holding blocks from a compact-encoded store passes the
+        *encoded* size — the budget then admits every block the
+        equivalent raw buffer would, and more (the paper's §4.3 hit-rate
+        argument, amplified by the encoding).
 
         Evicts lowest-priority entries while the budget is exceeded, but
         never evicts entries with priority strictly greater than the
@@ -86,7 +103,7 @@ class SubBlockBuffer:
         entry under the same key is dropped first (a put is a content
         replacement), whether or not the new block ends up resident.
         """
-        size = block.nbytes
+        size = int(nbytes) if nbytes is not None else block.nbytes
         if key in self._blocks:
             self._used -= self._sizes[key]
             del self._blocks[key]

@@ -166,7 +166,11 @@ class GraphSDEngine(EngineBase):
         if self.config.enable_buffering:
             capacity = self.config.buffer_bytes
             if capacity is None:
-                capacity = int(self.config.buffer_fraction * self.store.total_edge_bytes)
+                # The budget models available RAM, so it is sized from the
+                # encoding-independent logical graph size; admission then
+                # accounts blocks at their *encoded* size, so a compact
+                # store fits more secondary sub-blocks per byte (§4.3).
+                capacity = int(self.config.buffer_fraction * self.store.logical_edge_bytes)
         else:
             capacity = 0
         self.buffer = SubBlockBuffer(capacity, disk=self.disk)
@@ -263,7 +267,7 @@ class GraphSDEngine(EngineBase):
         cached = self.buffer.get((i, j))
         if cached is None:
             return None
-        self.disk.stats.buffer_hit_bytes += cached.nbytes
+        self.disk.stats.buffer_hit_bytes += self.buffer.size_of((i, j))
         keep = np.isin(cached.src, active_ids)
         self.clock.charge(COMPUTE, self.machine.vertex_compute_time(cached.count))
         return EdgeBlock(

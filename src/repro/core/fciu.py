@@ -76,7 +76,7 @@ def _load_column_buffered(
             block = engine.buffer.get((i, j))
             if block is not None:
                 cached[i] = block
-                engine.disk.stats.buffer_hit_bytes += block.nbytes
+                engine.disk.stats.buffer_hit_bytes += engine.buffer.size_of((i, j))
 
     out: List[Tuple[int, EdgeBlock, bool]] = []
     run_start = None
@@ -168,17 +168,22 @@ def run_fciu_round(engine) -> VertexSubset:
                     # the buffer), and opening the gate here lets the
                     # worker check column j+1's residency safely.
                     for i, block, from_cache in column:
+                        # Admission is budgeted in *encoded* (on-disk)
+                        # bytes: what buffering saves is the block's
+                        # re-read, so a compact store's buffer fits more
+                        # secondary blocks per byte of budget.
+                        stored_bytes = store.block_nbytes(i, j)
                         if (
                             i > j
                             and not from_cache
-                            and block.nbytes <= engine.buffer.capacity_bytes
+                            and stored_bytes <= engine.buffer.capacity_bytes
                         ):
                             priority = _count_active_edges(
                                 engine,
                                 block,
                                 frontier.mask if gate is not None else np.ones(n, bool),
                             )
-                            engine.buffer.put((i, j), block, priority)
+                            engine.buffer.put((i, j), block, priority, nbytes=stored_bytes)
                     gates[j].set()
 
                 diag_block = None

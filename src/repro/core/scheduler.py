@@ -164,9 +164,7 @@ class StateAwareScheduler:
         # Pipelined: the column sweep overlaps with gathers/applies; the
         # fill is the first column's read (the consumer's cold start).
         # Vertex reads/writes bracket the region and stay serial.
-        fill = disk.seq_read_time(
-            int(store.block_counts[:, 0].sum()) * store.edge_record_bytes, requests=1
-        )
+        fill = disk.seq_read_time(store.column_nbytes(0), requests=1)
         return vertex_read + write + self.overlapped(edges_read, compute, fill)
 
     def plan_index_access(self, frontier: VertexSubset) -> IndexPlan:
@@ -224,7 +222,10 @@ class StateAwareScheduler:
         store = self.store
         P = store.P
         active = frontier.indices()
-        adj_bytes = store.edge_record_bytes
+        # Per-edge adjacency bytes of a selective load under the store's
+        # encoding: M + W for raw records, the packed local record for the
+        # compact layout (whose run-length headers selective loads skip).
+        adj_bytes = store.adjacency_bytes_per_edge
 
         if active.size:
             degs = self.out_degrees[active]

@@ -11,41 +11,98 @@ sub-block edges are sorted by source, giving the CSR-style offset index
 ``index(i, j)`` that the on-demand I/O model uses to locate one vertex's
 edges.
 
+Two on-disk encodings share this layout (see ``docs/STORAGE.md``):
+
+**raw** (format 1)
+    packed global edge records in grid order: ``(src: uint32,
+    dst: uint32)`` or ``(src, dst, wgt: float32)`` — ``M + W`` bytes per
+    record, matching the paper's Table 2 cost-model notation.
+
+**compact** (format 2)
+    inside sub-block ``(i, j)`` both endpoints are confined to known
+    intervals and sources repeat in runs, so the raw records pay for
+    information the layout already implies. The compact encoding stores,
+    per non-empty sub-block:
+
+    * a CSR-style run-length header: one per-vertex in-block degree for
+      every vertex of source interval ``i``, in the narrowest unsigned
+      dtype that holds the block's maximum in-block degree (the same
+      degrees the offset index ``index(i, j)`` encodes as deltas);
+    * ``count`` packed records of ``(dst_local, [wgt])`` where
+      ``dst_local = dst - lo(j)`` is stored in the narrowest unsigned
+      dtype sufficient for interval ``j``'s width (uint8/16/32) and
+      weights stay float32.
+
+    Decoding is vectorized — ``np.repeat`` over the run lengths
+    reconstructs the sources, a local→global add reconstructs the
+    destinations — and produces :class:`EdgeBlock` objects bit-identical
+    to the raw decoder's, for full streams, column scans, and selective
+    index-range loads alike. Decode work is modeled as inline with the
+    transfer (like checksum verification), so the byte shrink directly
+    shrinks charged I/O time.
+
 Files (all through :class:`~repro.storage.blockfile.ArrayFile`):
 
 ``{prefix}.edges``
-    packed edge records in grid order: ``(src: uint32, dst: uint32)``
-    or ``(src, dst, wgt: float32)`` — ``M + W`` bytes per record,
-    matching the paper's Table 2 cost-model notation. Both the full I/O
-    model (block/column slices) and the on-demand model (index-directed
-    gathers) read from this one file, so both pay the same per-edge
-    byte cost — as the paper's ``C_s``/``C_r`` formulas assume.
+    the encoded sub-blocks in grid order. Raw stores open it with the
+    record dtype; compact stores open it as a byte stream
+    (:data:`~repro.storage.blockfile.BYTE_DTYPE`) and address blocks by
+    byte ranges, so CRC sidecars and fault injection compose unchanged.
 ``{prefix}.idx``
     per-block CSR offsets, ``int64``, concatenated in storage order;
     block ``(i, j)``'s slice has ``interval_size(i) + 1`` entries of
     block-relative offsets. Absent when the store is built unindexed
-    (the Lumos baseline's representation).
+    (the Lumos baseline's representation). Identical in both encodings.
 
-Metadata (interval boundaries, per-block edge counts and file offsets)
-is stored as JSON next to the data files.
+Metadata (interval boundaries, per-block edge counts and file offsets,
+the format version, and — for compact stores — the per-block header
+dtypes) is stored as JSON next to the data files. Opening a grid whose
+recorded format this build does not understand fails with a readable
+error instead of a garbage decode.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.graph.edgelist import EdgeList, VERTEX_DTYPE
 from repro.graph.partition import VertexIntervals
-from repro.storage.blockfile import ArrayFile, Device
+from repro.storage.blockfile import ArrayFile, BYTE_DTYPE, Device
 from repro.utils.validation import require
 
 INDEX_DTYPE = np.dtype(np.int64)
 EDGE_UNWEIGHTED_DTYPE = np.dtype([("src", np.uint32), ("dst", np.uint32)])
 EDGE_WEIGHTED_DTYPE = np.dtype([("src", np.uint32), ("dst", np.uint32), ("wgt", np.float32)])
+
+#: On-disk encodings and the format versions that name them in the meta
+#: file. An unknown version is a hard, readable error on open.
+ENCODING_RAW = "raw"
+ENCODING_COMPACT = "compact"
+FORMAT_RAW = 1
+FORMAT_COMPACT = 2
+SUPPORTED_FORMATS: Dict[int, str] = {FORMAT_RAW: ENCODING_RAW, FORMAT_COMPACT: ENCODING_COMPACT}
+ENCODINGS = tuple(SUPPORTED_FORMATS.values())
+
+#: Little-endian unsigned dtypes by itemsize, the compact encoding's menu.
+_UINT_BY_ITEMSIZE = {1: np.dtype("<u1"), 2: np.dtype("<u2"), 4: np.dtype("<u4")}
+
+
+def _narrowest_uint(max_value: int) -> np.dtype:
+    """The narrowest little-endian unsigned dtype holding ``max_value``."""
+    if max_value < (1 << 8):
+        return _UINT_BY_ITEMSIZE[1]
+    if max_value < (1 << 16):
+        return _UINT_BY_ITEMSIZE[2]
+    require(max_value < (1 << 32), f"value {max_value} exceeds uint32")
+    return _UINT_BY_ITEMSIZE[4]
+
+
+class GridFormatError(ValueError):
+    """The on-disk grid was written by a format this build cannot read."""
 
 
 @dataclass
@@ -84,7 +141,10 @@ class GridStore:
         block_counts: np.ndarray,
         has_weights: bool,
         indexed: bool,
+        encoding: str = ENCODING_RAW,
+        count_codes: Optional[np.ndarray] = None,
     ) -> None:
+        require(encoding in ENCODINGS, f"unknown grid encoding {encoding!r}")
         self.device = device
         self.prefix = prefix
         self.intervals = intervals
@@ -93,15 +153,41 @@ class GridStore:
         require(self.block_counts.shape == (P, P), "block_counts must be P x P")
         self.has_weights = has_weights
         self.indexed = indexed
+        self.encoding = encoding
 
-        # Storage-order (dst-major) item offsets: block (i, j) starts at
-        # _block_start[i, j] items into the edges file.
+        sizes = intervals.sizes()
+        if encoding == ENCODING_COMPACT:
+            require(indexed, "compact encoding requires an indexed (source-sorted) grid")
+            require(count_codes is not None, "compact encoding requires count_codes")
+            self._count_codes = np.ascontiguousarray(count_codes, dtype=np.int64)
+            require(self._count_codes.shape == (P, P), "count_codes must be P x P")
+            # Encoded bytes of block (i, j): run-length header (one entry
+            # per vertex of interval i) + packed (dst_local, [wgt]) records.
+            rec_sizes = np.array(
+                [self._record_dtype(j).itemsize for j in range(P)], dtype=np.int64
+            )
+            header = sizes[:, None] * self._count_codes
+            self._block_bytes = np.where(
+                self.block_counts > 0,
+                header + self.block_counts * rec_sizes[None, :],
+                0,
+            ).astype(np.int64)
+        else:
+            self._count_codes = None
+            edge_dtype = EDGE_WEIGHTED_DTYPE if has_weights else EDGE_UNWEIGHTED_DTYPE
+            self._block_bytes = self.block_counts * edge_dtype.itemsize
+
+        # Storage-order (dst-major) offsets: block (i, j) starts at
+        # _block_start[i, j] items (raw) / _block_byte_start[i, j] bytes
+        # into the edges file.
         order_counts = self.block_counts.T.reshape(-1)  # (j, i) raveled
         starts = np.concatenate(([0], np.cumsum(order_counts)[:-1]))
         self._block_start = starts.reshape(P, P).T.copy()  # back to [i, j]
+        order_bytes = self._block_bytes.T.reshape(-1)
+        byte_starts = np.concatenate(([0], np.cumsum(order_bytes)[:-1]))
+        self._block_byte_start = byte_starts.reshape(P, P).T.copy()
 
         if indexed:
-            sizes = intervals.sizes()
             idx_lens = np.empty(P * P, dtype=np.int64)
             for j in range(P):
                 for i in range(P):
@@ -111,9 +197,31 @@ class GridStore:
         else:
             self._index_start = None
 
-        edge_dtype = EDGE_WEIGHTED_DTYPE if has_weights else EDGE_UNWEIGHTED_DTYPE
-        self._edges_file = device.array_file(f"{prefix}.edges", edge_dtype)
+        if encoding == ENCODING_COMPACT:
+            self._edges_file = device.array_file(f"{prefix}.edges", BYTE_DTYPE)
+        else:
+            edge_dtype = EDGE_WEIGHTED_DTYPE if has_weights else EDGE_UNWEIGHTED_DTYPE
+            self._edges_file = device.array_file(f"{prefix}.edges", edge_dtype)
         self._idx_file = device.array_file(f"{prefix}.idx", INDEX_DTYPE) if indexed else None
+
+    # -- compact-encoding dtypes ------------------------------------------
+
+    def _dst_dtype(self, j: int) -> np.dtype:
+        """Local-destination dtype of column ``j`` (from interval width)."""
+        width = self.intervals.size(j)
+        return _narrowest_uint(max(0, width - 1))
+
+    def _record_dtype(self, j: int) -> np.dtype:
+        """Packed per-edge record dtype of column ``j`` (compact encoding)."""
+        fields = [("dst", self._dst_dtype(j))]
+        if self.has_weights:
+            fields.append(("wgt", np.dtype("<f4")))
+        return np.dtype(fields)
+
+    def _count_dtype(self, i: int, j: int) -> np.dtype:
+        code = int(self._count_codes[i, j])
+        require(code in _UINT_BY_ITEMSIZE, f"block ({i},{j}): bad count dtype code {code}")
+        return _UINT_BY_ITEMSIZE[code]
 
     # -- construction ------------------------------------------------------
 
@@ -126,20 +234,29 @@ class GridStore:
         prefix: str = "graph",
         indexed: bool = True,
         sort_within_blocks: bool = True,
+        encoding: str = ENCODING_RAW,
     ) -> "GridStore":
         """Partition ``edges`` into the grid and write the data files.
 
         ``sort_within_blocks=False`` reproduces Lumos-style preprocessing:
         edges are grouped into sub-blocks but left unsorted inside, which
         is cheaper to build but cannot support a per-vertex index
-        (``indexed`` is forced off).
+        (``indexed`` is forced off). ``encoding="compact"`` writes the
+        format-2 layout (see module docstring); it requires the sorted,
+        indexed representation because the run-length headers are the
+        per-vertex degrees the sort exposes.
         """
         require(
             intervals.num_vertices == edges.num_vertices,
             "intervals do not cover the edge list's vertex universe",
         )
+        require(encoding in ENCODINGS, f"unknown grid encoding {encoding!r}")
         if not sort_within_blocks:
             indexed = False
+        require(
+            encoding != ENCODING_COMPACT or (indexed and sort_within_blocks),
+            "compact encoding requires sort_within_blocks=True and indexed=True",
+        )
         P = intervals.P
         i_of = intervals.interval_of(edges.src).astype(np.int64)
         j_of = intervals.interval_of(edges.dst).astype(np.int64)
@@ -151,17 +268,82 @@ class GridStore:
             perm = np.argsort(key, kind="stable")
         src = edges.src[perm]
         dst = edges.dst[perm]
+        wgt = edges.weights[perm] if edges.has_weights else None
 
         counts_by_key = np.bincount(key, minlength=P * P).astype(np.int64)
         block_counts = counts_by_key.reshape(P, P).T.copy()  # [i, j]
 
-        store = cls(device, prefix, intervals, block_counts, edges.has_weights, indexed)
-        records = np.empty(src.shape[0], dtype=store._edges_file.dtype)
-        records["src"] = src
-        records["dst"] = dst
-        if edges.has_weights:
-            records["wgt"] = edges.weights[perm]
-        store._edges_file.write(records)
+        if encoding == ENCODING_COMPACT:
+            count_codes = np.zeros((P, P), dtype=np.int64)
+            store = None  # created after the codes are known
+            payload_parts: List[np.ndarray] = []
+            # First pass: per-block header dtypes (needs per-vertex degrees).
+            pos = 0
+            for j in range(P):
+                for i in range(P):
+                    cnt = int(block_counts[i, j])
+                    if cnt == 0:
+                        continue
+                    lo_i, hi_i = intervals.bounds(i)
+                    vcounts = np.bincount(
+                        src[pos : pos + cnt].astype(np.int64) - lo_i,
+                        minlength=hi_i - lo_i,
+                    )
+                    count_codes[i, j] = _narrowest_uint(int(vcounts.max())).itemsize
+                    pos += cnt
+            store = cls(
+                device,
+                prefix,
+                intervals,
+                block_counts,
+                edges.has_weights,
+                indexed,
+                encoding=ENCODING_COMPACT,
+                count_codes=count_codes,
+            )
+            pos = 0
+            for j in range(P):
+                lo_j, _hi_j = intervals.bounds(j)
+                rec_dtype = store._record_dtype(j)
+                for i in range(P):
+                    cnt = int(block_counts[i, j])
+                    if cnt == 0:
+                        continue
+                    lo_i, hi_i = intervals.bounds(i)
+                    vcounts = np.bincount(
+                        src[pos : pos + cnt].astype(np.int64) - lo_i,
+                        minlength=hi_i - lo_i,
+                    )
+                    header = vcounts.astype(store._count_dtype(i, j))
+                    records = np.empty(cnt, dtype=rec_dtype)
+                    records["dst"] = (
+                        dst[pos : pos + cnt].astype(np.int64) - lo_j
+                    ).astype(rec_dtype["dst"])
+                    if edges.has_weights:
+                        records["wgt"] = wgt[pos : pos + cnt]
+                    payload_parts.append(np.frombuffer(header.tobytes(), dtype=BYTE_DTYPE))
+                    payload_parts.append(np.frombuffer(records.tobytes(), dtype=BYTE_DTYPE))
+                    pos += cnt
+            payload = (
+                np.concatenate(payload_parts)
+                if payload_parts
+                else np.empty(0, dtype=BYTE_DTYPE)
+            )
+            require(
+                payload.shape[0] == int(store._block_bytes.sum()),
+                "compact encoder produced inconsistent byte counts",
+            )
+            store._edges_file.write(payload)
+        else:
+            store = cls(
+                device, prefix, intervals, block_counts, edges.has_weights, indexed
+            )
+            records = np.empty(src.shape[0], dtype=store._edges_file.dtype)
+            records["src"] = src
+            records["dst"] = dst
+            if edges.has_weights:
+                records["wgt"] = wgt
+            store._edges_file.write(records)
 
         if indexed:
             idx_parts = []
@@ -186,19 +368,52 @@ class GridStore:
     def _write_meta(self) -> None:
         meta = {
             "prefix": self.prefix,
+            "format": FORMAT_COMPACT if self.encoding == ENCODING_COMPACT else FORMAT_RAW,
+            "encoding": self.encoding,
             "boundaries": self.intervals.boundaries.tolist(),
             "block_counts": self.block_counts.tolist(),
             "has_weights": self.has_weights,
             "indexed": self.indexed,
         }
+        if self.encoding == ENCODING_COMPACT:
+            meta["count_dtype_codes"] = self._count_codes.tolist()
         with open(self.device.root / f"{self.prefix}.meta.json", "w") as f:
             json.dump(meta, f)
 
     @classmethod
     def open(cls, device: Device, prefix: str = "graph") -> "GridStore":
-        """Open an existing grid representation on ``device``."""
+        """Open an existing grid representation on ``device``.
+
+        Grids written before the format field existed are format 1 (the
+        raw layout, unchanged). Any format this build does not know
+        raises :class:`GridFormatError` with the supported versions —
+        never a silent garbage decode.
+        """
         with open(device.root / f"{prefix}.meta.json") as f:
             meta = json.load(f)
+        fmt = int(meta.get("format", FORMAT_RAW))
+        if fmt not in SUPPORTED_FORMATS:
+            supported = ", ".join(
+                f"{v} ({name})" for v, name in sorted(SUPPORTED_FORMATS.items())
+            )
+            raise GridFormatError(
+                f"grid {prefix!r} was written with on-disk format {fmt}, which "
+                f"this build cannot read; supported formats: {supported}. "
+                "Rebuild the representation with `graphsd preprocess`."
+            )
+        encoding = SUPPORTED_FORMATS[fmt]
+        declared = meta.get("encoding", encoding)
+        require(
+            declared == encoding,
+            f"grid {prefix!r}: meta declares encoding {declared!r} but format {fmt}",
+        )
+        count_codes = None
+        if encoding == ENCODING_COMPACT:
+            require(
+                "count_dtype_codes" in meta,
+                f"grid {prefix!r}: compact meta is missing count_dtype_codes",
+            )
+            count_codes = np.asarray(meta["count_dtype_codes"], dtype=np.int64)
         intervals = VertexIntervals(np.asarray(meta["boundaries"], dtype=np.int64))
         return cls(
             device,
@@ -207,6 +422,8 @@ class GridStore:
             np.asarray(meta["block_counts"], dtype=np.int64),
             bool(meta["has_weights"]),
             bool(meta["indexed"]),
+            encoding=encoding,
+            count_codes=count_codes,
         )
 
     # -- shape/metadata accessors -------------------------------------
@@ -225,20 +442,77 @@ class GridStore:
 
     @property
     def edge_record_bytes(self) -> int:
-        """Bytes per edge record — ``M + W`` in the paper's notation."""
+        """Bytes per raw edge record — ``M + W`` in the paper's notation.
+
+        Only meaningful for the raw encoding; the compact layout has no
+        global record size (byte cost varies per block), so callers that
+        need byte figures must use :meth:`block_nbytes`,
+        :meth:`column_nbytes`, :attr:`total_edge_bytes`, or
+        :attr:`adjacency_bytes_per_edge` instead.
+        """
+        if self.encoding == ENCODING_COMPACT:
+            raise RuntimeError(
+                "compact grid stores have no global edge record size; use "
+                "block_nbytes/column_nbytes/total_edge_bytes/adjacency_bytes_per_edge"
+            )
         return int(self._edges_file.dtype.itemsize)
 
     @property
     def total_edge_bytes(self) -> int:
-        """``|E| * (M + W)``: the full I/O model's per-iteration edge read."""
-        return self.total_edges * self.edge_record_bytes
+        """Encoded bytes of the edges file: the full I/O model's
+        per-iteration edge read volume (``|E| (M + W)`` for raw)."""
+        return int(self._block_bytes.sum())
+
+    @property
+    def logical_edge_bytes(self) -> int:
+        """Decoded (in-memory) bytes of all edges: ``|E| (M + W)``.
+
+        Encoding-independent — the figure to size memory budgets from
+        (e.g. the §4.3 buffer's 'fraction of graph size' regime), so a
+        compact store gets the same budget as its raw twin while its
+        blocks are *accounted* at their smaller encoded size.
+        """
+        edge_dtype = EDGE_WEIGHTED_DTYPE if self.has_weights else EDGE_UNWEIGHTED_DTYPE
+        return self.total_edges * edge_dtype.itemsize
+
+    @property
+    def adjacency_bytes_per_edge(self) -> float:
+        """Mean per-edge adjacency bytes of a *selective* load.
+
+        The on-demand model reads per-vertex record extents (the compact
+        run-length headers are not re-read — offsets come from the
+        index), so the per-edge cost is the record payload size:
+        ``M + W`` for raw, the packed ``(dst_local, [wgt])`` size per
+        column for compact. Averaged edge-weighted across columns for
+        the scheduler's ``S_seq``/``S_ran`` estimate.
+        """
+        if self.encoding != ENCODING_COMPACT:
+            return float(self._edges_file.dtype.itemsize)
+        col_edges = self.block_counts.sum(axis=0)
+        rec_sizes = np.array(
+            [self._record_dtype(j).itemsize for j in range(self.P)], dtype=np.float64
+        )
+        total = int(col_edges.sum())
+        if total == 0:
+            return float(rec_sizes.mean()) if rec_sizes.size else 0.0
+        return float((col_edges * rec_sizes).sum() / total)
+
+    def selective_record_bytes(self, j: int) -> int:
+        """Per-edge payload bytes of a selective load in column ``j``."""
+        if self.encoding == ENCODING_COMPACT:
+            return int(self._record_dtype(j).itemsize)
+        return int(self._edges_file.dtype.itemsize)
 
     def block_edge_count(self, i: int, j: int) -> int:
         return int(self.block_counts[i, j])
 
     def block_nbytes(self, i: int, j: int) -> int:
-        """Full-load size of sub-block ``(i, j)`` in bytes."""
-        return self.block_edge_count(i, j) * self.edge_record_bytes
+        """Full-load (encoded, on-disk) size of sub-block ``(i, j)`` in bytes."""
+        return int(self._block_bytes[i, j])
+
+    def column_nbytes(self, j: int) -> int:
+        """Encoded bytes of destination column ``j`` (one full-sweep extent)."""
+        return int(self._block_bytes[:, j].sum())
 
     def iter_blocks_dst_major(self) -> Iterator[Tuple[int, int]]:
         """All ``(i, j)`` pairs in on-disk (destination-major) order."""
@@ -252,8 +526,51 @@ class GridStore:
         wgt = records["wgt"].copy() if self.has_weights else None
         return EdgeBlock(i, j, records["src"].copy(), records["dst"].copy(), wgt)
 
+    def _empty_block(self, i: int, j: int) -> EdgeBlock:
+        wgt = np.empty(0, dtype=np.float32) if self.has_weights else None
+        return EdgeBlock(
+            i, j, np.empty(0, dtype=VERTEX_DTYPE), np.empty(0, dtype=VERTEX_DTYPE), wgt
+        )
+
+    def _decode_compact(self, i: int, j: int, payload: np.ndarray) -> EdgeBlock:
+        """Decode one compact sub-block's bytes into an :class:`EdgeBlock`.
+
+        ``np.repeat`` over the run-length header reconstructs the source
+        column; the local destinations get the interval base added back.
+        Output arrays match the raw decoder's dtypes exactly, so engines
+        cannot distinguish the encodings.
+        """
+        cnt = self.block_edge_count(i, j)
+        if cnt == 0:
+            return self._empty_block(i, j)
+        lo_i, hi_i = self.intervals.bounds(i)
+        lo_j, _ = self.intervals.bounds(j)
+        header_bytes = (hi_i - lo_i) * int(self._count_codes[i, j])
+        require(
+            payload.shape[0] == self.block_nbytes(i, j),
+            f"block ({i},{j}): expected {self.block_nbytes(i, j)} encoded bytes, "
+            f"got {payload.shape[0]}",
+        )
+        vcounts = payload[:header_bytes].view(self._count_dtype(i, j)).astype(np.int64)
+        require(
+            int(vcounts.sum()) == cnt,
+            f"block ({i},{j}): corrupt compact header (run lengths sum to "
+            f"{int(vcounts.sum())}, metadata says {cnt} edges)",
+        )
+        records = payload[header_bytes:].view(self._record_dtype(j))
+        src = np.repeat(np.arange(lo_i, hi_i, dtype=VERTEX_DTYPE), vcounts)
+        dst = records["dst"].astype(VERTEX_DTYPE) + VERTEX_DTYPE.type(lo_j)
+        wgt = records["wgt"].astype(np.float32) if self.has_weights else None
+        return EdgeBlock(i, j, src, dst, wgt)
+
     def load_block(self, i: int, j: int) -> EdgeBlock:
         """Sequentially read all edges of sub-block ``(i, j)``."""
+        if self.encoding == ENCODING_COMPACT:
+            start = int(self._block_byte_start[i, j])
+            payload = self._edges_file.read_slice(
+                start, self.block_nbytes(i, j), sequential=True
+            )
+            return self._decode_compact(i, j, payload)
         start = int(self._block_start[i, j])
         count = self.block_edge_count(i, j)
         records = self._edges_file.read_slice(start, count, sequential=True)
@@ -265,11 +582,23 @@ class GridStore:
         Within a column the sub-blocks are stored contiguously in source-
         interval order, so a run of blocks is one sequential extent —
         this keeps full sweeps request-cheap (one read per column rather
-        than per block).
+        than per block), in either encoding.
         """
         require(0 <= i_lo <= i_hi <= self.P, "bad block range")
         if i_lo == i_hi:
             return []
+        if self.encoding == ENCODING_COMPACT:
+            start = int(self._block_byte_start[i_lo, j])
+            nbytes = [self.block_nbytes(i, j) for i in range(i_lo, i_hi)]
+            payload = self._edges_file.read_slice(start, int(sum(nbytes)), sequential=True)
+            blocks = []
+            pos = 0
+            for offset, nb in enumerate(nbytes):
+                blocks.append(
+                    self._decode_compact(i_lo + offset, j, payload[pos : pos + nb])
+                )
+                pos += nb
+            return blocks
         start = int(self._block_start[i_lo, j])
         counts = [self.block_edge_count(i, j) for i in range(i_lo, i_hi)]
         records = self._edges_file.read_slice(start, int(sum(counts)), sequential=True)
@@ -340,7 +669,8 @@ class GridStore:
         into single disk runs; merged runs of at least
         ``seq_threshold_bytes`` are charged at sequential bandwidth —
         the concrete realization of the paper's ``S_seq``/``S_ran``
-        split. Per-edge read volume is ``M + W`` bytes, exactly the
+        split. Per-edge read volume is the encoding's per-record payload
+        (``M + W`` raw, the packed local record compact), exactly the
         cost-model's on-demand term.
         """
         from repro.utils.runs import merge_runs
@@ -350,11 +680,33 @@ class GridStore:
             offsets_pairs.shape == (active_global_ids.shape[0], 2),
             "offsets_pairs shape mismatch",
         )
+        per_vertex = offsets_pairs[:, 1] - offsets_pairs[:, 0]
+        require(bool(np.all(per_vertex >= 0)), "corrupt index: negative edge counts")
+
+        if self.encoding == ENCODING_COMPACT:
+            lo_i, hi_i = self.intervals.bounds(i)
+            lo_j, _ = self.intervals.bounds(j)
+            rec_dtype = self._record_dtype(j)
+            rec_size = rec_dtype.itemsize
+            base = int(self._block_byte_start[i, j]) + (hi_i - lo_i) * int(
+                self._count_codes[i, j]
+            )
+            starts = base + offsets_pairs[:, 0] * rec_size
+            m_starts, m_counts, _ = merge_runs(starts, per_vertex * rec_size)
+            if seq_threshold_bytes is not None:
+                seq_mask = m_counts >= int(seq_threshold_bytes)
+            else:
+                seq_mask = None
+            payload = self._edges_file.read_gather(m_starts, m_counts, seq_run_mask=seq_mask)
+            records = payload.view(rec_dtype)
+            src = np.repeat(active_global_ids.astype(VERTEX_DTYPE), per_vertex)
+            dst = records["dst"].astype(VERTEX_DTYPE) + VERTEX_DTYPE.type(lo_j)
+            wgt = records["wgt"].astype(np.float32) if self.has_weights else None
+            return EdgeBlock(i, j, src, dst, wgt)
+
         base = int(self._block_start[i, j])
         starts = base + offsets_pairs[:, 0]
-        counts = offsets_pairs[:, 1] - offsets_pairs[:, 0]
-        require(bool(np.all(counts >= 0)), "corrupt index: negative edge counts")
-        m_starts, m_counts, _ = merge_runs(starts, counts)
+        m_starts, m_counts, _ = merge_runs(starts, per_vertex)
         if seq_threshold_bytes is not None:
             seq_mask = m_counts * self.edge_record_bytes >= int(seq_threshold_bytes)
         else:
@@ -367,11 +719,12 @@ class GridStore:
 
         Verifies, for every sub-block: edge endpoints fall in the
         block's (source, destination) intervals, edges are source-sorted
-        (when sorted), metadata counts match the data, and — when
-        indexed — the CSR offsets reproduce each vertex's edge range
-        exactly. Raises :class:`ValueError` on the first inconsistency.
-        Intended for post-preprocessing sanity checks and fsck-style
-        debugging of copied representations.
+        (when sorted), metadata counts match the data (including the
+        compact run-length headers), and — when indexed — the CSR
+        offsets reproduce each vertex's edge range exactly. Raises
+        :class:`ValueError` on the first inconsistency. Intended for
+        post-preprocessing sanity checks and fsck-style debugging of
+        copied representations.
         """
         total = 0
         for (i, j) in self.iter_blocks_dst_major():
@@ -422,6 +775,18 @@ class GridStore:
 
     def read_all_sources(self) -> np.ndarray:
         """One full scan returning every edge's source id (context building)."""
+        if self.encoding == ENCODING_COMPACT:
+            data = self._edges_file.read_all()
+            parts: List[np.ndarray] = []
+            for (i, j) in self.iter_blocks_dst_major():
+                nb = self.block_nbytes(i, j)
+                if nb == 0:
+                    continue
+                start = int(self._block_byte_start[i, j])
+                parts.append(self._decode_compact(i, j, data[start : start + nb]).src)
+            if not parts:
+                return np.empty(0, dtype=VERTEX_DTYPE)
+            return np.concatenate(parts)
         return self._edges_file.read_all()["src"]
 
     def _require_indexed(self) -> None:
@@ -434,5 +799,6 @@ class GridStore:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"GridStore(prefix={self.prefix!r}, P={self.P}, |V|={self.num_vertices}, "
-            f"|E|={self.total_edges}, weighted={self.has_weights}, indexed={self.indexed})"
+            f"|E|={self.total_edges}, weighted={self.has_weights}, "
+            f"indexed={self.indexed}, encoding={self.encoding})"
         )

@@ -27,7 +27,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.graph.edgelist import EdgeList
-from repro.graph.grid import GridStore
+from repro.graph.grid import ENCODING_RAW, GridStore
 from repro.graph.partition import VertexIntervals, make_intervals
 from repro.storage.blockfile import Device
 from repro.storage.disk import MachineProfile, DEFAULT_MACHINE
@@ -128,15 +128,28 @@ def preprocess_graphsd(
     prefix: str = "graphsd",
     intervals: Optional[VertexIntervals] = None,
     machine: MachineProfile = DEFAULT_MACHINE,
+    encoding: str = ENCODING_RAW,
 ) -> PreprocessResult:
-    """GraphSD pipeline: one sorted, indexed grid copy."""
+    """GraphSD pipeline: one sorted, indexed grid copy.
+
+    ``encoding`` selects the on-disk sub-block layout ("raw" or
+    "compact"); the compact encoder's extra per-block passes are in the
+    same regime as the sort passes already charged, so preprocessing
+    cost is modeled identically — what changes is the representation's
+    size, and with it every later read.
+    """
     intervals = _resolve_intervals(edges, P, intervals)
 
     def build() -> List[GridStore]:
         _charge_raw_read(device, edges)
         _charge_partition(device, machine, edges)
         _charge_sort(device, machine, edges)
-        return [GridStore.build(edges, intervals, device, prefix=prefix, indexed=True)]
+        return [
+            GridStore.build(
+                edges, intervals, device, prefix=prefix, indexed=True,
+                encoding=encoding,
+            )
+        ]
 
     return _run("graphsd", device, edges, intervals, build)
 

@@ -50,6 +50,14 @@ from repro.utils.validation import require
 
 PathLike = Union[str, os.PathLike]
 
+#: Byte-stream dtype for files with no global record size (the compact
+#: grid encoding packs variable-width records per sub-block). Opening an
+#: :class:`ArrayFile` with this dtype makes item offsets *byte* offsets,
+#: so every existing facility — CRC sidecar chunking, fault injection,
+#: torn-write prefixes, page-cache accounting, gather charging — works
+#: on arbitrary byte ranges without knowing any record structure.
+BYTE_DTYPE = np.dtype(np.uint8)
+
 #: Granularity of the CRC32 sidecar: one checksum per 64 KiB chunk, so
 #: slice/gather reads verify only the chunks they touch.
 CRC_CHUNK_BYTES = 1 << 16

@@ -42,13 +42,14 @@ def build_store(
     indexed: bool = True,
     sort_within_blocks: bool = True,
     name: str = "g",
+    encoding: str = "raw",
 ) -> GridStore:
     """Build a grid store for ``edges`` in a fresh subdirectory."""
     dev = Device(tmp_path / f"store-{name}", SimulatedDisk(HDD_PROFILE))
     intervals = make_intervals(edges, P)
     return GridStore.build(
         edges, intervals, dev, prefix=name, indexed=indexed,
-        sort_within_blocks=sort_within_blocks,
+        sort_within_blocks=sort_within_blocks, encoding=encoding,
     )
 
 

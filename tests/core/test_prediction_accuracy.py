@@ -15,9 +15,20 @@ from repro.core import GraphSDConfig, GraphSDEngine, IOModel
 from tests.conftest import build_store, random_edgelist
 
 
+#: Both on-disk encodings: the Fig. 10 agreement must hold under the
+#: compact byte model too (predictions and charges both derive from the
+#: store's encoded per-block byte figures).
+@pytest.fixture(params=["raw", "compact"])
+def encoding(request):
+    return request.param
+
+
 @pytest.fixture
-def store(rng, tmp_path):
-    return build_store(random_edgelist(rng, 600, 7000), tmp_path, P=4, name="pred")
+def store(rng, tmp_path, encoding):
+    return build_store(
+        random_edgelist(rng, 600, 7000), tmp_path, P=4, name="pred",
+        encoding=encoding,
+    )
 
 
 def test_full_model_prediction_matches_charged_io(store):
@@ -37,10 +48,13 @@ def test_full_model_prediction_matches_charged_io(store):
         assert actual == pytest.approx(predicted, rel=0.10)
 
 
-def test_adaptive_predictions_track_charged_io(rng, tmp_path):
+def test_adaptive_predictions_track_charged_io(rng, tmp_path, encoding):
     """Each round's chosen-model prediction lands within a factor band
     of the actually-charged I/O for the iteration it scheduled."""
-    store = build_store(random_edgelist(rng, 600, 7000), tmp_path, P=4, name="ad")
+    store = build_store(
+        random_edgelist(rng, 600, 7000), tmp_path, P=4, name="ad",
+        encoding=encoding,
+    )
     engine = GraphSDEngine(store)
     result = engine.run(SSSP(source=0))
 
@@ -64,11 +78,14 @@ def test_adaptive_predictions_track_charged_io(rng, tmp_path):
     assert checked >= 3  # the run exercised several decisions
 
 
-def test_decisions_are_never_badly_wrong(rng, tmp_path):
+def test_decisions_are_never_badly_wrong(rng, tmp_path, encoding):
     """Whenever the scheduler picked a model, executing that iteration
     must not have been more than modestly costlier than the losing
     model's *prediction* — i.e. no confidently-wrong decisions."""
-    store = build_store(random_edgelist(rng, 500, 6000), tmp_path, P=4, name="nw")
+    store = build_store(
+        random_edgelist(rng, 500, 6000), tmp_path, P=4, name="nw",
+        encoding=encoding,
+    )
     engine = GraphSDEngine(store)
     result = engine.run(ConnectedComponents())
     records = result.per_iteration
@@ -87,7 +104,7 @@ def test_decisions_are_never_badly_wrong(rng, tmp_path):
 
 @pytest.mark.parametrize("pipeline", [False, True])
 def test_full_model_prediction_matches_charged_time_both_modes(
-    rng, tmp_path, pipeline
+    rng, tmp_path, pipeline, encoding
 ):
     """C_s predicts the *overlapped* per-iteration time when pipelining.
 
@@ -97,7 +114,8 @@ def test_full_model_prediction_matches_charged_time_both_modes(
     from repro.algorithms import PageRank
 
     store = build_store(
-        random_edgelist(rng, 2000, 60000), tmp_path, P=8, name="ov"
+        random_edgelist(rng, 2000, 60000), tmp_path, P=8, name="ov",
+        encoding=encoding,
     )
     engine = GraphSDEngine(
         store,
@@ -122,10 +140,11 @@ def test_full_model_prediction_matches_charged_time_both_modes(
 
 @pytest.mark.parametrize("pipeline", [False, True])
 def test_on_demand_prediction_tracks_charged_time_both_modes(
-    rng, tmp_path, pipeline
+    rng, tmp_path, pipeline, encoding
 ):
     store = build_store(
-        random_edgelist(rng, 600, 7000), tmp_path, P=4, name="ovd"
+        random_edgelist(rng, 600, 7000), tmp_path, P=4, name="ovd",
+        encoding=encoding,
     )
     engine = GraphSDEngine(store, config=GraphSDConfig(pipeline=pipeline))
     result = engine.run(SSSP(source=0))
