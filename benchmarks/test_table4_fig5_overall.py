@@ -47,7 +47,8 @@ def test_table4_and_fig5(benchmark, harness):
     assert min(hus_ratios) > 0.99
     assert min(lumos_ratios) > 0.99
     # Average and peak speedups land in the paper's band's direction.
-    avg = lambda xs: sum(xs) / len(xs)
+    def avg(xs):
+        return sum(xs) / len(xs)
     assert avg(hus_ratios) > 1.15, f"HUS avg speedup too small: {avg(hus_ratios):.2f}"
     assert max(lumos_ratios) > 2.0, f"Lumos peak speedup too small: {max(lumos_ratios):.2f}"
     assert avg(lumos_ratios) > avg(hus_ratios), "Lumos should trail HUS-Graph overall"

@@ -1,0 +1,29 @@
+"""The project-invariant checkers (rule registry)."""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from repro.analysis.base import Checker
+from repro.analysis.checkers.charged_io import ChargedIOChecker
+from repro.analysis.checkers.determinism import SimDeterminismChecker
+from repro.analysis.checkers.dtypes import DtypeSafetyChecker
+from repro.analysis.checkers.exceptions import ExceptionHygieneChecker
+from repro.analysis.checkers.locks import LockDisciplineChecker
+
+ALL_CHECKERS: List[Type[Checker]] = [
+    SimDeterminismChecker,
+    ChargedIOChecker,
+    LockDisciplineChecker,
+    DtypeSafetyChecker,
+    ExceptionHygieneChecker,
+]
+
+__all__ = [
+    "ALL_CHECKERS",
+    "ChargedIOChecker",
+    "DtypeSafetyChecker",
+    "ExceptionHygieneChecker",
+    "LockDisciplineChecker",
+    "SimDeterminismChecker",
+]

@@ -1,0 +1,86 @@
+"""GSD102 — charged I/O.
+
+Every byte the system moves must be charged to the dual-timeline
+:class:`~repro.utils.timers.SimClock` and counted in
+:class:`~repro.storage.iostats.IOStats`; with checksums enabled it must
+also be CRC-verified. That only holds when reads and writes flow through
+the ``storage/`` substrate (:class:`~repro.storage.blockfile.ArrayFile`
+/ :class:`~repro.storage.blockfile.Device`). Outside ``storage/`` this
+rule flags the raw escape routes:
+
+* builtin ``open(...)``;
+* ``Path``-style ``.read_bytes`` / ``.write_bytes`` / ``.read_text`` /
+  ``.write_text`` / ``.tofile`` method calls;
+* numpy file I/O: ``np.fromfile``, ``np.memmap``, ``np.load``,
+  ``np.save``, ``np.savez``, ``np.savez_compressed``.
+
+Legitimate host-side I/O (benchmark reports, external interchange files
+that live outside any simulated device) is annotated
+``# charged-io-ok: <reason>`` — the annotation is the audit trail.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from repro.analysis.base import Checker, dotted_name
+from repro.analysis.source import SourceFile
+
+#: Method names that bypass the storage layer regardless of receiver.
+_RAW_METHODS = ("read_bytes", "write_bytes", "read_text", "write_text", "tofile")
+#: numpy module functions that perform file I/O.
+_NUMPY_IO = ("fromfile", "memmap", "load", "save", "savez", "savez_compressed")
+
+
+class ChargedIOChecker(Checker):
+    rule_id = "GSD102"
+    title = "file I/O outside storage/ must flow through Device/ArrayFile"
+    suppress_marker = "charged-io-ok"
+    scope_dirs = ()  # everywhere except the exclusions below
+
+    def applies_to(self, rel: str) -> bool:
+        head = rel.split("/", 1)[0]
+        # storage/ *is* the charged substrate; analysis/ reads source
+        # files, not graph data; utils/ holds no I/O by construction.
+        return head not in ("storage", "analysis")
+
+    def visit(self, sf: SourceFile) -> None:
+        numpy_aliases: Set[str] = {
+            alias.asname or "numpy"
+            for node in ast.walk(sf.tree)
+            if isinstance(node, ast.Import)
+            for alias in node.names
+            if alias.name == "numpy"
+        }
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                self.report(
+                    node,
+                    "raw open(): route this through repro.storage (Device/"
+                    "ArrayFile) so the transfer is clock-charged and "
+                    "checksum-verified, or annotate why it is host-side I/O",
+                )
+            elif isinstance(func, ast.Attribute):
+                name = dotted_name(func)
+                if (
+                    name is not None
+                    and name.count(".") == 1
+                    and name.split(".")[0] in numpy_aliases
+                    and name.split(".")[1] in _NUMPY_IO
+                ):
+                    self.report(
+                        node,
+                        f"{name}: numpy file I/O bypasses the charged storage "
+                        "layer (use ArrayFile, or annotate why it is host-side)",
+                    )
+                elif func.attr in _RAW_METHODS:
+                    self.report(
+                        node,
+                        f".{func.attr}(): raw file I/O bypasses the charged "
+                        "storage layer (use Device/ArrayFile, or annotate why "
+                        "it is host-side)",
+                    )

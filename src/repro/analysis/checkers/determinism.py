@@ -1,0 +1,89 @@
+"""GSD101 — sim-determinism.
+
+Simulated execution must be a pure function of inputs and seeds: PR 2's
+pipelined==serial bit-identical guarantee (and every recorded benchmark)
+dies the moment an engine path consults wall-clock time or unseeded
+randomness. Inside the engine directories (``core/``, ``graph/``,
+``storage/``, ``algorithms/``) this rule forbids:
+
+* importing ``time``, ``datetime`` or ``random`` at all — modeled time
+  comes from :class:`repro.utils.timers.SimClock`, randomness from
+  :mod:`repro.utils.rng`;
+* any use of ``numpy.random`` (``np.random.default_rng`` included, even
+  seeded — centralizing construction in ``utils/rng`` is the invariant);
+* importing from ``numpy.random``.
+
+``utils/`` itself is intentionally out of scope: it is where the two
+sanctioned wrappers (``WallTimer``, ``make_rng``) live.
+
+Escape hatch: ``# sim-ok: <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from repro.analysis.base import Checker, dotted_name
+from repro.analysis.source import SourceFile
+
+_FORBIDDEN_MODULES = ("time", "datetime", "random")
+
+
+class SimDeterminismChecker(Checker):
+    rule_id = "GSD101"
+    title = "sim paths must not touch wall-clock time or ad-hoc randomness"
+    suppress_marker = "sim-ok"
+    scope_dirs = ("core", "graph", "storage", "algorithms")
+
+    def visit(self, sf: SourceFile) -> None:
+        numpy_aliases: Set[str] = set()
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".", 1)[0]
+                    if root in _FORBIDDEN_MODULES:
+                        self.report(
+                            node,
+                            f"import of {alias.name!r}: use repro.utils.timers "
+                            "(SimClock/WallTimer) for timing and repro.utils.rng "
+                            "for randomness",
+                        )
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".", 1)[0]
+                if root in _FORBIDDEN_MODULES:
+                    self.report(
+                        node,
+                        f"import from {node.module!r}: use repro.utils.timers / "
+                        "repro.utils.rng instead",
+                    )
+                if node.module == "numpy" and any(
+                    a.name == "random" for a in node.names
+                ):
+                    self.report(
+                        node, "numpy.random import: construct RNGs via repro.utils.rng"
+                    )
+                if (node.module or "").startswith("numpy.random"):
+                    self.report(
+                        node, "numpy.random import: construct RNGs via repro.utils.rng"
+                    )
+        # Attribute uses of <numpy alias>.random.* (catches seeded and
+        # unseeded construction alike — the sanctioned path is utils/rng).
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            name = dotted_name(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            # Exactly <alias>.random.<member>: longer chains contain this
+            # three-part Attribute as a nested node, so matching the exact
+            # length reports each use once.
+            if len(parts) == 3 and parts[0] in numpy_aliases and parts[1] == "random":
+                self.report(
+                    node,
+                    f"{name}: all randomness must flow through repro.utils.rng "
+                    "(make_rng / spawn_rngs)",
+                )

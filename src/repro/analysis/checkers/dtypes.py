@@ -1,0 +1,105 @@
+"""GSD104 — dtype safety on hot paths.
+
+``np.zeros(n)`` silently allocates float64; ``np.arange(n)`` allocates
+the platform's default integer. PR 3's narrowest-uint sub-block encoding
+assumes every array's width is *chosen*, not inherited — a dtype-less
+allocation on a hot path is how an int64 sneaks into a uint16 column and
+quadruples the bytes (or truncates on Windows, where the default C long
+is 32-bit). In ``core/``, ``graph/``, ``storage/`` and ``algorithms/``
+this rule requires:
+
+* an explicit dtype (keyword or the positional dtype slot) on
+  ``np.zeros`` / ``np.empty`` / ``np.ones`` / ``np.full`` /
+  ``np.arange`` / ``np.frombuffer`` / ``np.fromfile``;
+* no platform-width builtins as dtypes: ``dtype=int`` (and
+  ``.astype(int)``) resolve to the C long — name a numpy width instead.
+
+``np.array`` / ``np.asarray`` without a dtype are *not* flagged:
+preserving the input's dtype is usually the intent there.
+
+Escape hatch: ``# dtype-ok: <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Set
+
+from repro.analysis.base import Checker, dotted_name
+from repro.analysis.source import SourceFile
+
+#: Constructor -> 0-based index of its positional dtype slot.
+_CONSTRUCTOR_DTYPE_SLOT: Dict[str, int] = {
+    "zeros": 1,
+    "empty": 1,
+    "ones": 1,
+    "full": 2,
+    "arange": 3,
+    "frombuffer": 1,
+    "fromfile": 1,
+}
+
+
+class DtypeSafetyChecker(Checker):
+    rule_id = "GSD104"
+    title = "hot-path numpy allocations must pin an explicit dtype"
+    suppress_marker = "dtype-ok"
+    scope_dirs = ("core", "graph", "storage", "algorithms")
+
+    def visit(self, sf: SourceFile) -> None:
+        numpy_aliases: Set[str] = {
+            alias.asname or "numpy"
+            for node in ast.walk(sf.tree)
+            if isinstance(node, ast.Import)
+            for alias in node.names
+            if alias.name == "numpy"
+        }
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dtype_value = self._dtype_argument(node, numpy_aliases)
+            if dtype_value == "missing":
+                name = dotted_name(node.func)
+                self.report(
+                    node,
+                    f"{name}() without an explicit dtype allocates the "
+                    "platform default — pin one (silent int64/float64 "
+                    "defaults broke the narrowest-uint encoding, PR 3)",
+                )
+            elif isinstance(dtype_value, ast.Name) and dtype_value.id in (
+                "int",
+                "float",
+            ):
+                self.report(
+                    dtype_value,
+                    f"builtin {dtype_value.id!r} as a dtype is platform-width "
+                    "(C long on Windows is 32-bit) — name a numpy width "
+                    "such as np.int64",
+                )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _dtype_argument(
+        self, node: ast.Call, numpy_aliases: Set[str]
+    ) -> "Optional[object]":
+        """The call's dtype argument node, ``"missing"`` for a flagged
+        constructor without one, or None when the call is not checked."""
+        func = node.func
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                return kw.value
+        # .astype(X): the first argument is the dtype.
+        if isinstance(func, ast.Attribute) and func.attr == "astype" and node.args:
+            return node.args[0]
+        name = dotted_name(func)
+        if name is None or "." not in name:
+            return None
+        root, member = name.split(".", 1)
+        if root not in numpy_aliases:
+            return None
+        slot = _CONSTRUCTOR_DTYPE_SLOT.get(member)
+        if slot is None:
+            return None
+        if len(node.args) > slot:
+            return node.args[slot]
+        return "missing"

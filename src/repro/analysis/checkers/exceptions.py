@@ -1,0 +1,77 @@
+"""GSD105 — exception hygiene.
+
+A bare ``except:`` (or blanket ``except Exception`` /
+``except BaseException``) that swallows is how storage faults turn into
+silently wrong benchmark numbers: PR 1's whole design routes failures
+either *up* (re-raise: crashes, checksum mismatches) or *into the
+record* (IOStats counters, RunResult fault events). A blanket handler is
+therefore only acceptable when it
+
+* re-raises (a ``raise`` statement anywhere in the handler body), or
+* visibly forwards the caught exception object (the bound name is used
+  in the body — e.g. delivered through a queue, recorded to
+  IOStats/RunResult, wrapped in a typed error), or
+* carries ``# exception-ok: <reason>``.
+
+Specific exception types are never flagged — the rule targets blanket
+catches only.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Checker
+from repro.analysis.source import SourceFile
+
+_BLANKET = ("Exception", "BaseException")
+
+
+def _is_blanket(type_node: "ast.expr | None") -> bool:
+    if type_node is None:  # bare except:
+        return True
+    if isinstance(type_node, ast.Name):
+        return type_node.id in _BLANKET
+    if isinstance(type_node, ast.Tuple):
+        return any(_is_blanket(el) for el in type_node.elts)
+    return False
+
+
+class ExceptionHygieneChecker(Checker):
+    rule_id = "GSD105"
+    title = "blanket except must re-raise, forward, or record the failure"
+    suppress_marker = "exception-ok"
+    scope_dirs = ()
+
+    def visit(self, sf: SourceFile) -> None:
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_blanket(node.type):
+                continue
+            if self._handler_is_honest(node):
+                continue
+            caught = (
+                "bare except"
+                if node.type is None
+                else f"except {ast.unparse(node.type)}"
+            )
+            self.report(
+                node,
+                f"{caught} swallows the failure: re-raise, forward the "
+                "exception object, or record it to IOStats/RunResult "
+                "(see docs/ANALYSIS.md)",
+            )
+
+    def _handler_is_honest(self, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if (
+                handler.name is not None
+                and isinstance(node, ast.Name)
+                and node.id == handler.name
+                and isinstance(node.ctx, ast.Load)
+            ):
+                return True
+        return False

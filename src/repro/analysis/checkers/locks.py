@@ -1,0 +1,163 @@
+"""GSD103 — lock-discipline race detector (Eraser-style lock sets).
+
+Classes with real cross-thread state declare, on the field's assignment
+line in ``__init__`` (or on a class-body annotation), which lock guards
+it::
+
+    self._components = {}  # guarded-by: _lock
+
+From then on, *every* read or write of that field inside the class —
+``self._components`` in a method, or ``other._components`` on another
+instance — must sit lexically inside a ``with <owner>.<lock>:`` block
+whose context expression names the same owner object and the declared
+lock attribute. The rule is a static lock-set check: it cannot prove the
+absence of every race, but it catches the common regression (a new
+method touching shared state without taking the lock) at lint time
+instead of as a once-a-month flaky test.
+
+Conventions:
+
+* ``__init__`` is exempt — construction happens-before publication to
+  any other thread.
+* Lock acquisition must be literal ``with owner.<lock>:`` — aliasing the
+  lock through a local is not recognized (keep it simple, keep it
+  checkable).
+* Known-benign unguarded accesses carry ``# unguarded-ok: <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.base import Checker
+from repro.analysis.source import SourceFile
+
+
+def _expr_key(node: ast.AST) -> Optional[str]:
+    """A comparable identity for simple owner expressions (self, other,
+    self.foo, ...); None for anything too dynamic to match."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _expr_key(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    return None
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Walks one method body tracking the active set of held locks."""
+
+    def __init__(
+        self,
+        checker: "LockDisciplineChecker",
+        guarded: Dict[str, str],
+        method_name: str,
+    ) -> None:
+        self.checker = checker
+        self.guarded = guarded
+        self.method_name = method_name
+        #: (owner key, lock attr) pairs currently held.
+        self.held: List[Tuple[str, str]] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: List[Tuple[str, str]] = []
+        for item in node.items:
+            ctx = item.context_expr
+            if isinstance(ctx, ast.Attribute):
+                owner = _expr_key(ctx.value)
+                if owner is not None:
+                    acquired.append((owner, ctx.attr))
+        self.held.extend(acquired)
+        self.generic_visit(node)
+        for _ in acquired:
+            self.held.pop()
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        field = node.attr
+        lock = self.guarded.get(field)
+        if lock is not None:
+            owner = _expr_key(node.value)
+            if owner is None or (owner, lock) not in self.held:
+                self.checker.report(
+                    node,
+                    f"access to {owner or '<expr>'}.{field} in "
+                    f"{self.method_name}() outside 'with "
+                    f"{owner or '<owner>'}.{lock}:' (declared guarded-by "
+                    f"{lock})",
+                )
+        self.generic_visit(node)
+
+    # Nested functions/lambdas inherit the lexical lock set: a closure
+    # defined inside `with self._lock:` typically *escapes* the lock's
+    # dynamic extent (it runs later, on another thread), so treat the
+    # nested body as holding nothing.
+    def _visit_nested(self, node: ast.AST) -> None:
+        outer = self.held
+        self.held = []
+        self.generic_visit(node)
+        self.held = outer
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_nested(node)
+
+
+class LockDisciplineChecker(Checker):
+    rule_id = "GSD103"
+    title = "guarded-by fields must be accessed under their declared lock"
+    suppress_marker = "unguarded-ok"
+    scope_dirs = ()  # driven entirely by guarded-by declarations
+
+    def visit(self, sf: SourceFile) -> None:
+        declarations = sf.declarations("guarded-by")
+        if not declarations:
+            return
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.ClassDef):
+                self._check_class(sf, node, declarations)
+
+    # -- per-class ---------------------------------------------------------
+
+    def _collect_guarded(
+        self, cls: ast.ClassDef, declarations: Dict[int, str]
+    ) -> Dict[str, str]:
+        """``{field name: lock attr}`` declared in this class body."""
+        guarded: Dict[str, str] = {}
+        for stmt in ast.walk(cls):
+            lock = declarations.get(getattr(stmt, "lineno", -1))
+            if lock is None:
+                continue
+            targets: List[ast.AST] = []
+            if isinstance(stmt, ast.Assign):
+                targets = list(stmt.targets)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                targets = [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute) and isinstance(
+                    target.value, ast.Name
+                ):
+                    guarded[target.attr] = lock.strip()
+                elif isinstance(target, ast.Name):  # class-body declaration
+                    guarded[target.id] = lock.strip()
+        return guarded
+
+    def _check_class(
+        self, sf: SourceFile, cls: ast.ClassDef, declarations: Dict[int, str]
+    ) -> None:
+        guarded = self._collect_guarded(cls, declarations)
+        if not guarded:
+            return
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name == "__init__":
+                continue  # construction happens-before publication
+            scanner = _MethodScanner(self, guarded, stmt.name)
+            for inner in stmt.body:
+                scanner.visit(inner)

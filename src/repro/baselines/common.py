@@ -30,7 +30,7 @@ traffic (edge writebacks, update streams).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

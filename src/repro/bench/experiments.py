@@ -10,10 +10,10 @@ reports populate EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.common import SYSTEM_FEATURES
-from repro.bench.harness import Harness, SYSTEMS, WORKLOADS
+from repro.bench.harness import Harness
 from repro.bench.reporting import ExperimentReport, mib, normalize
 from repro.core import RunResult
 from repro.datasets import list_datasets

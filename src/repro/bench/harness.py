@@ -14,7 +14,7 @@ import shutil
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -36,7 +36,6 @@ from repro.graph import (
     EdgeList,
     GridStore,
     PreprocessResult,
-    make_intervals,
     preprocess_graphsd,
     preprocess_husgraph,
     preprocess_lumos,

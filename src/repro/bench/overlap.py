@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.bench.harness import Harness, WORKLOADS
+from repro.bench.harness import Harness
 from repro.bench.reporting import ExperimentReport, compare_times
 from repro.core import RunResult
 
@@ -227,6 +227,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.smoke:
         return smoke(P=args.partitions)
     record = build_record(P=args.partitions, prefetch_depth=args.prefetch_depth)
+    # charged-io-ok: host-side benchmark report, not simulated graph I/O
     with open(args.out, "w") as f:
         json.dump(record, f, indent=2)
         f.write("\n")

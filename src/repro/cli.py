@@ -12,6 +12,9 @@ Subcommands
     run summary plus the per-iteration trace.
 ``bench``
     Regenerate one of the paper's tables/figures (or ``all``).
+``lint``
+    Run the project-invariant static checkers (see ``docs/ANALYSIS.md``).
+    Exit 0 when clean, 1 on new findings, 2 on bad usage.
 """
 
 from __future__ import annotations
@@ -135,6 +138,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "prefetch_wasted": result.prefetch_wasted,
             "buffer_hit_bytes": result.buffer_hit_bytes,
         }
+        # charged-io-ok: host-side result file, not simulated graph I/O
         with open(args.json, "w") as f:
             json.dump(payload, f, indent=2)
         print(f"wrote {args.json}")
@@ -166,6 +170,38 @@ def _cmd_record(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        default_baseline_path,
+        load_baseline,
+        run_lint,
+        write_baseline,
+    )
+
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    baseline_path = (
+        Path(args.baseline) if args.baseline else default_baseline_path()
+    )
+    if args.baseline and not baseline_path.exists():
+        raise ValueError(f"baseline file does not exist: {baseline_path}")
+    baseline = load_baseline(baseline_path)
+    result = run_lint(paths=paths, baseline=baseline)
+    if args.update_baseline:
+        write_baseline(result.findings, baseline_path)
+        print(
+            f"wrote {baseline_path} ({len(result.findings)} entr"
+            f"{'y' if len(result.findings) == 1 else 'ies'})"
+        )
+        return 0
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.render_text())
+    return result.exit_code
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -255,6 +291,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-P", "--partitions", type=int, default=8)
     p.add_argument("--verify", action="store_true")
     p.set_defaults(func=_cmd_record)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the project-invariant static checkers (docs/ANALYSIS.md)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to check (default: the repro package)",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file of grandfathered findings "
+        "(default: the committed package baseline)",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to grandfather every current finding",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("bench", help="regenerate a table/figure of the paper")
     p.add_argument(

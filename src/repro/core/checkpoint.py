@@ -47,9 +47,11 @@ from __future__ import annotations
 import json
 import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.typing import DTypeLike
 
 from repro.graph.vertexdata import VertexArrayStore
 from repro.storage.blockfile import Device
@@ -117,7 +119,7 @@ class CheckpointManager:
 
     # -- naming ------------------------------------------------------------
 
-    def _sidecar_path(self, slot: int):
+    def _sidecar_path(self, slot: int) -> Path:
         return self.device.root / f"{self.base_name}.s{slot}.ckpt.json"
 
     def _array_name(self, label: str, slot: int) -> str:
@@ -130,7 +132,7 @@ class CheckpointManager:
         if not path.exists():
             return None
         try:
-            return CheckpointMeta.from_json(path.read_text())
+            return CheckpointMeta.from_json(self.device.read_meta_text(path.name))
         except (ValueError, KeyError, OSError):
             return None  # torn/garbled sidecar: the slot never committed
 
@@ -146,7 +148,7 @@ class CheckpointManager:
             if record is not None and path.stat().st_size != record["nbytes"]:
                 return False
             if check_crc and record is not None:
-                data = path.read_bytes()
+                data = path.read_bytes()  # charged-io-ok: charged explicitly below
                 # Validation is a real sequential scan; charge it.
                 self.device.disk.charge_read_sequential(len(data))
                 if zlib.crc32(data) != record["crc32"]:
@@ -236,9 +238,7 @@ class CheckpointManager:
         # rename, and only after every array landed. A crash anywhere
         # above leaves the other slot's generation in force.
         target = self._sidecar_path(slot)
-        tmp = target.with_suffix(".json.tmp")
-        tmp.write_text(meta.to_json())
-        tmp.replace(target)
+        self.device.write_meta_text(target.name, meta.to_json(), atomic=True)
         self._active = meta
 
     # -- restoring -----------------------------------------------------
@@ -270,7 +270,7 @@ class CheckpointManager:
         )
         return self._active
 
-    def _load_array(self, name: str, length: int, dtype) -> np.ndarray:
+    def _load_array(self, name: str, length: int, dtype: DTypeLike) -> np.ndarray:
         stored_dtype = MASK_DTYPE if np.dtype(dtype) == bool else np.dtype(dtype)
         arr = VertexArrayStore(self.device, name, length, stored_dtype).load_all()
         return arr.astype(dtype)
@@ -280,7 +280,7 @@ class CheckpointManager:
         mask = self._load_array(meta.extra_arrays["frontier"], num_vertices, bool)
         return VertexSubset(num_vertices, mask)
 
-    def load_state(self, label: str, length: int, dtype) -> np.ndarray:
+    def load_state(self, label: str, length: int, dtype: DTypeLike) -> np.ndarray:
         meta = self._require_active()
         require(
             label in meta.state_arrays,
@@ -288,7 +288,7 @@ class CheckpointManager:
         )
         return self._load_array(meta.state_arrays[label], length, dtype)
 
-    def load_extra(self, label: str, length: int, dtype) -> np.ndarray:
+    def load_extra(self, label: str, length: int, dtype: DTypeLike) -> np.ndarray:
         meta = self._require_active()
         require(
             label in meta.extra_arrays,

@@ -30,11 +30,15 @@ no-buffer   ``enable_buffering=False`` (Fig. 12)
 from __future__ import annotations
 
 from contextlib import nullcontext
-from dataclasses import dataclass, replace
-from typing import ContextManager, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, ContextManager, Dict, List, Optional, Tuple
 
 import numpy as np
 
+if TYPE_CHECKING:  # lazy at runtime to keep layering acyclic
+    from repro.core.checkpoint import CheckpointManager
+
+from repro.algorithms.base import GraphContext
 from repro.core.buffer import SubBlockBuffer
 from repro.core.engine_base import EngineBase
 from repro.core.fciu import run_fciu_round
@@ -101,27 +105,27 @@ class GraphSDConfig:
     # Named ablations from §5.4 ------------------------------------------
 
     @classmethod
-    def baseline_b1(cls, **kw) -> "GraphSDConfig":
+    def baseline_b1(cls, **kw: Any) -> "GraphSDConfig":
         """GraphSD-b1: cross-iteration vertex update disabled."""
         return cls(enable_cross_iteration=False, **kw)
 
     @classmethod
-    def baseline_b2(cls, **kw) -> "GraphSDConfig":
+    def baseline_b2(cls, **kw: Any) -> "GraphSDConfig":
         """GraphSD-b2: selective vertex update disabled (always full I/O)."""
         return cls(enable_selective=False, **kw)
 
     @classmethod
-    def baseline_b3(cls, **kw) -> "GraphSDConfig":
+    def baseline_b3(cls, **kw: Any) -> "GraphSDConfig":
         """GraphSD-b3: the full I/O model pinned for all iterations."""
         return cls(force_model=IOModel.FULL, **kw)
 
     @classmethod
-    def baseline_b4(cls, **kw) -> "GraphSDConfig":
+    def baseline_b4(cls, **kw: Any) -> "GraphSDConfig":
         """GraphSD-b4: the on-demand I/O model pinned for all iterations."""
         return cls(force_model=IOModel.ON_DEMAND, **kw)
 
     @classmethod
-    def no_buffering(cls, **kw) -> "GraphSDConfig":
+    def no_buffering(cls, **kw: Any) -> "GraphSDConfig":
         """Fig. 12's 'without buffering scheme' variant."""
         return cls(enable_buffering=False, **kw)
 
@@ -136,7 +140,7 @@ class GraphSDEngine(EngineBase):
         store: GridStore,
         machine: MachineProfile = DEFAULT_MACHINE,
         config: Optional[GraphSDConfig] = None,
-        ctx=None,
+        ctx: Optional[GraphContext] = None,
         label: Optional[str] = None,
     ) -> None:
         super().__init__(store, machine, ctx)
@@ -206,13 +210,13 @@ class GraphSDEngine(EngineBase):
     def _has_pending_work(self) -> bool:
         return self.touched_next is not None and bool(self.touched_next.any())
 
-    def _checkpoint_extra_arrays(self):
+    def _checkpoint_extra_arrays(self) -> Dict[str, np.ndarray]:
         # The carried cross-iteration accumulator is live control state:
         # contributions pre-pushed for the next apply must survive a
         # crash or they would be silently lost on resume.
         return {"acc_next": self.acc_next, "touched_next": self.touched_next}
 
-    def _restore_extra_arrays(self, manager) -> None:
+    def _restore_extra_arrays(self, manager: "CheckpointManager") -> None:
         n = self.ctx.num_vertices
         self.acc_next = manager.load_extra("acc_next", n, np.float64)
         self.touched_next = manager.load_extra("touched_next", n, bool)
@@ -254,7 +258,9 @@ class GraphSDEngine(EngineBase):
             seq_threshold_bytes=self.config.seq_run_threshold_bytes,
         )
 
-    def selective_from_buffer(self, i: int, j: int, active_ids: np.ndarray):
+    def selective_from_buffer(
+        self, i: int, j: int, active_ids: np.ndarray
+    ) -> Optional[EdgeBlock]:
         """Serve a selective load from the sub-block buffer if resident.
 
         Extension feature (``config.buffer_serves_selective``): filters

@@ -21,9 +21,12 @@ returns the next frontier.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep layering acyclic
+    from repro.core.checkpoint import CheckpointManager
 
 from repro.algorithms.base import (
     Combine,
@@ -36,8 +39,9 @@ from repro.core.result import IterationRecord, RunResult
 from repro.graph.grid import EdgeBlock, GridStore
 from repro.graph.vertexdata import VertexArrayStore
 from repro.storage.disk import MachineProfile, DEFAULT_MACHINE
+from repro.storage.iostats import IOStats
 from repro.utils.bitset import VertexSubset
-from repro.utils.timers import COMPUTE, WallTimer
+from repro.utils.timers import COMPUTE, TimeBreakdown, WallTimer
 from repro.utils.validation import require
 
 
@@ -204,12 +208,12 @@ class EngineBase:
 
     # -- iteration metric capture ----------------------------------------
 
-    def begin_iteration(self):
+    def begin_iteration(self) -> "Tuple[TimeBreakdown, IOStats]":
         return (self.clock.snapshot(), self.disk.stats.snapshot())
 
     def end_iteration(
         self,
-        token,
+        token: "Tuple[TimeBreakdown, IOStats]",
         model: str,
         frontier_size: int,
         edges_processed: int,
@@ -274,10 +278,10 @@ class EngineBase:
         """Engine-specific arrays to persist alongside each checkpoint."""
         return {}
 
-    def _restore_extra_arrays(self, manager) -> None:
+    def _restore_extra_arrays(self, manager: "CheckpointManager") -> None:
         """Restore whatever :meth:`_checkpoint_extra_arrays` persisted."""
 
-    def _checkpoint_manager(self, tag: str):
+    def _checkpoint_manager(self, tag: str) -> "CheckpointManager":
         from repro.core.checkpoint import CheckpointManager
 
         base = f"{self.store.prefix}.{self.engine_name}.{self.program.name}.{tag}"

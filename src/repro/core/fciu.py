@@ -48,17 +48,24 @@ pipelined execution bit-identical to serial:
 from __future__ import annotations
 
 import threading
-from typing import List, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 import numpy as np
 
+if TYPE_CHECKING:  # engine.py imports this module; import only for types
+    from repro.core.engine import GraphSDEngine
+
 from repro.graph.grid import EdgeBlock
+from repro.storage.prefetch import BlockPrefetcher
 from repro.utils.bitset import VertexSubset
 from repro.utils.timers import COMPUTE
 
+#: A deferred column load: returns ``(i, block, from_cache)`` triples.
+_ColumnTask = Callable[[], List[Tuple[int, EdgeBlock, bool]]]
+
 
 def _load_column_buffered(
-    engine, j: int, i_lo: int
+    engine: "GraphSDEngine", j: int, i_lo: int
 ) -> List[Tuple[int, EdgeBlock, bool]]:
     """Load blocks ``(i_lo.., j)``, serving from the buffer when possible.
 
@@ -104,14 +111,21 @@ def _load_column_buffered(
     return out
 
 
-def _count_active_edges(engine, block: EdgeBlock, mask: np.ndarray) -> int:
+def _count_active_edges(
+    engine: "GraphSDEngine", block: EdgeBlock, mask: np.ndarray
+) -> int:
     """Number of edges whose source is in ``mask`` (the buffer priority)."""
     count = int(np.count_nonzero(mask[block.src]))
     engine.clock.charge(COMPUTE, engine.machine.vertex_compute_time(block.count))
     return count
 
 
-def _column_tasks(engine, prefetcher, i_lo_of, gates=None):
+def _column_tasks(
+    engine: "GraphSDEngine",
+    prefetcher: "BlockPrefetcher",
+    i_lo_of: Callable[[int], int],
+    gates: Optional[List[threading.Event]] = None,
+) -> List[_ColumnTask]:
     """One load thunk per destination column, gated when requested.
 
     ``gates[j]`` (when given) must be set before the worker may start
@@ -121,7 +135,7 @@ def _column_tasks(engine, prefetcher, i_lo_of, gates=None):
     """
     P = engine.store.P
 
-    def make_task(j: int):
+    def make_task(j: int) -> _ColumnTask:
         def task() -> List[Tuple[int, EdgeBlock, bool]]:
             if gates is not None and j > 0:
                 prefetcher.wait_gate(gates[j - 1])
@@ -132,7 +146,7 @@ def _column_tasks(engine, prefetcher, i_lo_of, gates=None):
     return [make_task(j) for j in range(P)]
 
 
-def run_fciu_round(engine) -> VertexSubset:
+def run_fciu_round(engine: "GraphSDEngine") -> VertexSubset:
     """Execute one FCIU round on a :class:`~repro.core.engine.GraphSDEngine`."""
     program = engine.program
     store = engine.store

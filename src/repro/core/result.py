@@ -9,7 +9,7 @@ traces and breakdowns without knowing which engine produced them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

@@ -16,16 +16,14 @@ Only practical for small graphs (thousands of edges).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.algorithms.base import Combine, GraphContext, VertexProgram
+from repro.algorithms.base import Combine, GraphContext, State, VertexProgram
 from repro.graph.degree import out_degrees
 from repro.graph.edgelist import EdgeList
 from repro.graph.partition import VertexIntervals, make_intervals
-from repro.utils.bitset import VertexSubset
-from repro.utils.validation import require
 
 
 @dataclass
@@ -50,7 +48,12 @@ class ScalarGraphSD:
     registered algorithm can be cross-checked.
     """
 
-    def __init__(self, edges: EdgeList, P: int = 2, intervals: Optional[VertexIntervals] = None):
+    def __init__(
+        self,
+        edges: EdgeList,
+        P: int = 2,
+        intervals: Optional[VertexIntervals] = None,
+    ) -> None:
         self.edges = edges
         self.intervals = intervals if intervals is not None else make_intervals(edges, P)
         self.P = self.intervals.P
@@ -75,7 +78,9 @@ class ScalarGraphSD:
 
     # -- scalar wrappers over the vectorized program hooks -------------------
 
-    def _gather_one(self, program: VertexProgram, state, u: int, w: float) -> float:
+    def _gather_one(
+        self, program: VertexProgram, state: "State", u: int, w: float
+    ) -> float:
         weights = np.asarray([w], dtype=np.float32) if program.needs_weights else None
         return float(program.gather(state, np.asarray([u]), weights)[0])
 
@@ -88,7 +93,7 @@ class ScalarGraphSD:
         max_iterations: Optional[int] = None,
         force_model: Optional[str] = None,
         selective_threshold: float = 0.1,
-    ):
+    ) -> "Tuple[State, AccessTrace, int]":
         """Execute to convergence; returns ``(state, trace)``.
 
         Model selection is simplified to an active-fraction threshold
@@ -134,7 +139,14 @@ class ScalarGraphSD:
 
     # -- Algorithm 2 ---------------------------------------------------------
 
-    def _sciu(self, program, state, v_active, pending, trace):
+    def _sciu(
+        self,
+        program: VertexProgram,
+        state: "State",
+        v_active: Set[int],
+        pending: Dict[int, float],
+        trace: AccessTrace,
+    ) -> "Tuple[Set[int], Dict[int, float], int]":
         prev = program.copy_state(state)
         acc: Dict[int, float] = dict(pending)
         selective: Set[int] = set()
@@ -178,7 +190,15 @@ class ScalarGraphSD:
 
     # -- Algorithm 3 ---------------------------------------------------------
 
-    def _fciu(self, program, state, v_active, pending, trace, remaining):
+    def _fciu(
+        self,
+        program: VertexProgram,
+        state: "State",
+        v_active: Set[int],
+        pending: Dict[int, float],
+        trace: AccessTrace,
+        remaining: int,
+    ) -> "Tuple[Set[int], Dict[int, float], int]":
         do_cross = remaining >= 2 and getattr(self, "enable_cross", True)
         prev = program.copy_state(state)
         acc: Dict[int, float] = dict(pending)
@@ -187,7 +207,14 @@ class ScalarGraphSD:
         activated: Set[int] = set()
         gate = None if program.all_active else v_active
 
-        def push(target: Dict[int, float], snapshot, u, nbr, w, source_gate):
+        def push(
+            target: Dict[int, float],
+            snapshot: "State",
+            u: int,
+            nbr: int,
+            w: float,
+            source_gate: Optional[Set[int]],
+        ) -> None:
             if source_gate is not None and u not in source_gate:
                 return
             contribution = self._gather_one(program, snapshot, u, w)
@@ -246,7 +273,14 @@ class ScalarGraphSD:
 
     # -- shared apply ---------------------------------------------------
 
-    def _apply_all(self, program, state, acc: Dict[int, float], lo=0, hi=None) -> Set[int]:
+    def _apply_all(
+        self,
+        program: VertexProgram,
+        state: "State",
+        acc: Dict[int, float],
+        lo: int = 0,
+        hi: Optional[int] = None,
+    ) -> Set[int]:
         n = self.ctx.num_vertices
         hi = n if hi is None else hi
         full_acc = program.acc_array(n)

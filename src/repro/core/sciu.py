@@ -40,9 +40,12 @@ budget exhausted → rolled back → full streaming) works unchanged.
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from typing import TYPE_CHECKING, Callable, List, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # engine.py imports this module; import only for types
+    from repro.core.engine import GraphSDEngine
 
 from repro.core.scheduler import INDEX_GATHER, INDEX_SPAN
 from repro.graph.grid import EdgeBlock
@@ -51,7 +54,7 @@ from repro.utils.bitset import VertexSubset
 
 
 def _make_load_task(
-    engine, i: int, j: int, ids: np.ndarray, local: np.ndarray, mode: int,
+    engine: "GraphSDEngine", i: int, j: int, ids: np.ndarray, local: np.ndarray, mode: int,
     lo_l: int, hi_l: int
 ) -> Callable[[], EdgeBlock]:
     """One plan entry: index access + selective load for block (i, j)."""
@@ -72,7 +75,7 @@ def _make_load_task(
     return task
 
 
-def run_sciu_round(engine) -> VertexSubset:
+def run_sciu_round(engine: "GraphSDEngine") -> VertexSubset:
     """Execute one SCIU iteration on a :class:`~repro.core.engine.GraphSDEngine`."""
     program = engine.program
     store = engine.store

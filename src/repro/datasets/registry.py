@@ -19,9 +19,9 @@ Everything is generated deterministically from fixed seeds; two calls to
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.datasets.rmat import SOCIAL, WEB, kronecker_edges, rmat_edges
+from repro.datasets.rmat import SOCIAL, WEB, rmat_edges
 from repro.datasets.synthetic import with_uniform_weights
 from repro.graph.edgelist import EdgeList
 

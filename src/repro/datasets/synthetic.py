@@ -8,8 +8,6 @@ tests can assert engine outputs against closed-form answers.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.graph.edgelist import EdgeList, WEIGHT_DTYPE

@@ -80,6 +80,7 @@ class EdgeList:
         """
         srcs, dsts, wgts = [], [], []
         saw_weight = False
+        # charged-io-ok: external interchange file outside the simulated device
         with open(path, "r") as f:
             for line in f:
                 line = line.strip()
@@ -105,6 +106,7 @@ class EdgeList:
 
     def to_text(self, path: Union[str, Path]) -> None:
         """Write ``src dst [weight]`` lines."""
+        # charged-io-ok: external interchange file outside the simulated device
         with open(path, "w") as f:
             if self.weights is None:
                 for s, d in zip(self.src.tolist(), self.dst.tolist()):
@@ -117,10 +119,12 @@ class EdgeList:
         payload = {"num_vertices": np.int64(self.num_vertices), "src": self.src, "dst": self.dst}
         if self.weights is not None:
             payload["weights"] = self.weights
+        # charged-io-ok: external interchange file outside the simulated device
         np.savez_compressed(path, **payload)
 
     @classmethod
     def from_npz(cls, path: Union[str, Path]) -> "EdgeList":
+        # charged-io-ok: external interchange file outside the simulated device
         with np.load(path) as z:
             weights = z["weights"] if "weights" in z.files else None
             return cls(int(z["num_vertices"]), z["src"], z["dst"], weights)
@@ -181,7 +185,7 @@ class EdgeList:
         degrees = np.bincount(self.src, minlength=self.num_vertices)
         order = np.argsort(-degrees if descending else degrees, kind="stable")
         permutation = np.empty(self.num_vertices, dtype=np.int64)
-        permutation[order] = np.arange(self.num_vertices)
+        permutation[order] = np.arange(self.num_vertices, dtype=np.int64)
         return self.relabeled(permutation), permutation
 
     def symmetrized(self, deduplicate: bool = True) -> "EdgeList":

@@ -71,7 +71,7 @@ import numpy as np
 
 from repro.graph.edgelist import EdgeList, VERTEX_DTYPE
 from repro.graph.partition import VertexIntervals
-from repro.storage.blockfile import ArrayFile, BYTE_DTYPE, Device
+from repro.storage.blockfile import BYTE_DTYPE, Device
 from repro.utils.validation import require
 
 INDEX_DTYPE = np.dtype(np.int64)
@@ -353,9 +353,9 @@ class GridStore:
                     cnt = int(block_counts[i, j])
                     lo, hi = intervals.bounds(i)
                     block_src = src[pos : pos + cnt]
-                    offsets = np.searchsorted(block_src, np.arange(lo, hi + 1)).astype(
-                        INDEX_DTYPE
-                    )
+                    offsets = np.searchsorted(
+                        block_src, np.arange(lo, hi + 1, dtype=np.int64)
+                    ).astype(INDEX_DTYPE)
                     idx_parts.append(offsets)
                     pos += cnt
             store._idx_file.write(
@@ -377,8 +377,7 @@ class GridStore:
         }
         if self.encoding == ENCODING_COMPACT:
             meta["count_dtype_codes"] = self._count_codes.tolist()
-        with open(self.device.root / f"{self.prefix}.meta.json", "w") as f:
-            json.dump(meta, f)
+        self.device.write_meta_text(f"{self.prefix}.meta.json", json.dumps(meta))
 
     @classmethod
     def open(cls, device: Device, prefix: str = "graph") -> "GridStore":
@@ -389,8 +388,7 @@ class GridStore:
         raises :class:`GridFormatError` with the supported versions —
         never a silent garbage decode.
         """
-        with open(device.root / f"{prefix}.meta.json") as f:
-            meta = json.load(f)
+        meta = json.loads(device.read_meta_text(f"{prefix}.meta.json"))
         fmt = int(meta.get("format", FORMAT_RAW))
         if fmt not in SUPPORTED_FORMATS:
             supported = ", ".join(

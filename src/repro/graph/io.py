@@ -42,7 +42,7 @@ def save_binary_pairs(
     out["dst"] = edges.dst
     if edges.has_weights:
         out["wgt"] = edges.weights
-    out.tofile(path)
+    out.tofile(path)  # charged-io-ok: external interchange file outside the simulated device
 
 
 def load_binary_pairs(
@@ -68,6 +68,7 @@ def load_binary_pairs(
         f"{path} size {size} is not a multiple of the record size {rec.itemsize} "
         "(wrong dtype or weighted flag?)",
     )
+    # charged-io-ok: external interchange file outside the simulated device
     data = np.fromfile(path, dtype=rec)
     src = data["src"].astype(np.int64)
     dst = data["dst"].astype(np.int64)
@@ -87,6 +88,7 @@ def load_matrix_market(path: PathLike) -> EdgeList:
     fields and the ``general``/``symmetric`` symmetry modes; symmetric
     inputs are expanded to both directions (off-diagonal entries).
     """
+    # charged-io-ok: external interchange file outside the simulated device
     with open(path) as f:
         header = f.readline().strip().split()
         require(
@@ -132,6 +134,7 @@ def load_matrix_market(path: PathLike) -> EdgeList:
 def save_matrix_market(edges: EdgeList, path: PathLike, comment: str = "") -> None:
     """Write an :class:`EdgeList` as a general coordinate ``.mtx`` file."""
     field = "real" if edges.has_weights else "pattern"
+    # charged-io-ok: external interchange file outside the simulated device
     with open(path, "w") as f:
         f.write(f"%%MatrixMarket matrix coordinate {field} general\n")
         if comment:

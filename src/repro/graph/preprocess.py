@@ -31,7 +31,7 @@ from repro.graph.grid import ENCODING_RAW, GridStore
 from repro.graph.partition import VertexIntervals, make_intervals
 from repro.storage.blockfile import Device
 from repro.storage.disk import MachineProfile, DEFAULT_MACHINE
-from repro.utils.timers import COMPUTE, PREPROCESS, TimeBreakdown, WallTimer
+from repro.utils.timers import COMPUTE, TimeBreakdown, WallTimer
 
 #: Modeled passes over the edge array for an in-place bucketed sort.
 SORT_PASSES = 6

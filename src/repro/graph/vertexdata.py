@@ -10,8 +10,6 @@ plus random single-interval writeback used by interval-grained engines.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.storage.blockfile import ArrayFile, Device

@@ -39,7 +39,7 @@ import json
 import os
 import zlib
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 import numpy as np
 
@@ -234,7 +234,7 @@ class ArrayFile:
         self._crc_table = table
         self._crc_path.write_text(json.dumps(table))
 
-    def _verify_chunks(self, chunk_indices) -> None:
+    def _verify_chunks(self, chunk_indices: "Iterable[int]") -> None:
         table = self._crc_load()
         if table is None:
             return
@@ -498,6 +498,36 @@ class Device:
         )
         self._files[key] = f
         return f
+
+    # -- metadata sidecars ---------------------------------------------------
+    #
+    # Grid metas and checkpoint sidecars are JSON descriptors of on-disk
+    # state, read/written through the device so callers outside storage/
+    # never touch files directly. Like the CRC sidecars, their (tiny)
+    # traffic is modeled as inline with the transfers they describe, so
+    # it is not charged.
+
+    def read_meta_text(self, name: str) -> str:
+        """Read a metadata sidecar (uncharged; see note above)."""
+        require("/" not in name and name not in ("", ".", ".."), f"bad file name {name!r}")
+        return (self.root / name).read_text()
+
+    def write_meta_text(self, name: str, text: str, atomic: bool = False) -> None:
+        """Write a metadata sidecar.
+
+        With ``atomic=True`` the text lands in ``<name>.tmp`` first and
+        is committed with an atomic rename — the crash-consistency
+        primitive the checkpoint layer builds on (a torn sidecar must
+        never parse as valid).
+        """
+        require("/" not in name and name not in ("", ".", ".."), f"bad file name {name!r}")
+        target = self.root / name
+        if not atomic:
+            target.write_text(text)
+            return
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_text(text)
+        tmp.replace(target)
 
     def file_names(self) -> Iterator[str]:
         return iter(sorted(p.name for p in self.root.iterdir() if p.is_file()))

@@ -171,7 +171,7 @@ class SimulatedDisk:
         profile: DiskProfile = HDD_PROFILE,
         clock: Optional[SimClock] = None,
         injector: Optional[object] = None,
-    ):
+    ) -> None:
         self.profile = profile
         self.clock = clock if clock is not None else SimClock()
         self.stats = IOStats()

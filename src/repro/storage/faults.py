@@ -42,12 +42,15 @@ Error taxonomy
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple, Union
 
+if TYPE_CHECKING:  # blockfile imports this module; import only for types
+    from repro.storage.blockfile import Device
+
+from repro.utils.rng import make_rng
 from repro.utils.validation import check_fraction, require
 
 
@@ -131,7 +134,7 @@ class FaultInjector:
 
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
-        self._rng = random.Random(plan.seed)
+        self._rng = make_rng(plan.seed)
         self._op_counts: Dict[int, int] = {}
         self._crash_hits: Dict[str, int] = {}
         #: Human-readable log of every fault actually injected.
@@ -188,7 +191,7 @@ class FaultInjector:
 
     # -- corruption ------------------------------------------------------
 
-    def apply_bit_flips(self, device) -> List[Tuple[str, int]]:
+    def apply_bit_flips(self, device: "Device") -> List[Tuple[str, int]]:
         """Corrupt the device files named by the plan's bit-flip specs.
 
         Each bit-flip spec flips exactly one bit (``spec.bit`` or a
@@ -207,7 +210,11 @@ class FaultInjector:
                 nbits = path.stat().st_size * 8
                 if nbits == 0:
                     continue
-                bit = spec.bit if spec.bit is not None else self._rng.randrange(nbits)
+                bit = (
+                    spec.bit
+                    if spec.bit is not None
+                    else int(self._rng.integers(nbits))
+                )
                 flip_bit(path, bit)
                 device.disk.stats.faults_injected += 1
                 self.events.append(f"bit-flip:{name}@{bit}")

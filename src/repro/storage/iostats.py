@@ -7,7 +7,7 @@ class, plus request counts and buffer-cache hit accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 
 @dataclass

@@ -73,8 +73,20 @@ class BlockPrefetcher:
     def __init__(self, depth: int, stats: Optional[IOStats] = None) -> None:
         check_nonneg(depth, "depth")
         self.depth = int(depth)
-        self.stats = stats
+        self._stats_lock = threading.Lock()
+        self.stats = stats  # guarded-by: _stats_lock
         self.cancelled = threading.Event()
+
+    def _bump(self, counter: str, by: int = 1) -> None:
+        """Add ``by`` to a stats counter, atomically.
+
+        Worker and consumer threads both record counters; an unlocked
+        ``+=`` on the shared :class:`IOStats` is a lost-update race
+        (read-modify-write is not atomic across threads).
+        """
+        with self._stats_lock:
+            if self.stats is not None:
+                setattr(self.stats, counter, getattr(self.stats, counter) + by)
 
     # -- gating (ordering dependencies between plan stages) ----------------
 
@@ -108,7 +120,6 @@ class BlockPrefetcher:
 
     def _run_threaded(self, tasks: Sequence[Callable[[], _T]]) -> Iterator[_T]:
         q: "queue.Queue" = queue.Queue(maxsize=self.depth)
-        stats = self.stats
 
         def worker() -> None:
             for task in tasks:
@@ -121,13 +132,11 @@ class BlockPrefetcher:
                 except BaseException as exc:  # delivered, not swallowed
                     self._put(q, ("error", exc))
                     return
-                if stats is not None:
-                    stats.prefetch_issued += 1
+                self._bump("prefetch_issued")
                 if not self._put(q, ("ok", result)):
                     # Cancelled with this result undelivered: the work
                     # (and its charged I/O) was speculative lookahead.
-                    if stats is not None:
-                        stats.prefetch_wasted += 1
+                    self._bump("prefetch_wasted")
                     return
             self._put(q, ("done", None))
 
@@ -147,26 +156,26 @@ class BlockPrefetcher:
                     return
                 if kind == "error":
                     raise payload
-                if ready and stats is not None:
-                    stats.prefetch_hits += 1
+                if ready:
+                    self._bump("prefetch_hits")
                 yield payload
         finally:
             self.cancelled.set()
             while thread.is_alive():
-                self._drain(q, stats)
+                self._drain(q)
                 thread.join(_POLL_S)
             thread.join()
-            self._drain(q, stats)  # results queued before the worker exited
+            self._drain(q)  # results queued before the worker exited
 
-    def _drain(self, q: "queue.Queue", stats: Optional[IOStats]) -> None:
+    def _drain(self, q: "queue.Queue") -> None:
         """Empty the hand-off queue, counting undelivered results wasted."""
         while True:
             try:
                 kind, _payload = q.get_nowait()
             except queue.Empty:
                 return
-            if kind == "ok" and stats is not None:
-                stats.prefetch_wasted += 1
+            if kind == "ok":
+                self._bump("prefetch_wasted")
 
     def _put(self, q: "queue.Queue", item: object) -> bool:
         """Queue ``item``, giving up (returning False) on cancellation."""

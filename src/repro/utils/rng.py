@@ -7,7 +7,7 @@ all experiments bit-reproducible across runs and machines.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

@@ -194,10 +194,10 @@ class SimClock:
     """
 
     def __init__(self) -> None:
-        self._components: Dict[str, float] = {}
-        self._overlap_saved = 0.0
         self._lock = threading.Lock()
-        self._region: Optional[OverlapRegion] = None
+        self._components: Dict[str, float] = {}  # guarded-by: _lock
+        self._overlap_saved = 0.0  # guarded-by: _lock
+        self._region: Optional[OverlapRegion] = None  # guarded-by: _lock
 
     def charge(self, component: str, seconds: float) -> None:
         """Add ``seconds`` of simulated time to ``component``."""

@@ -1,7 +1,6 @@
 """PageRank-Delta: telescopes to the plain PageRank fixpoint."""
 
 import numpy as np
-import pytest
 
 from repro.algorithms import PageRank, PageRankDelta
 from repro.baselines import BSPReference

@@ -7,7 +7,7 @@ from scipy.sparse.csgraph import dijkstra
 
 from repro.algorithms import SSSP
 from repro.baselines import BSPReference
-from repro.datasets import chain, grid_2d, with_uniform_weights
+from repro.datasets import chain, grid_2d
 from repro.graph.edgelist import EdgeList
 from tests.conftest import random_edgelist
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.algorithms import ConnectedComponents, PageRank, SSSP
+from repro.algorithms import PageRank, SSSP
 from repro.baselines import (
     GraphChiEngine,
     GridGraphEngine,

@@ -1,7 +1,5 @@
 """Report rendering helpers."""
 
-import pytest
-
 from repro.bench.reporting import ExperimentReport, format_table, mib, normalize
 
 

@@ -1,7 +1,6 @@
 """SubBlockBuffer: budget, priority eviction, accounting — unit + property."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -23,7 +23,7 @@ from repro.algorithms import (
     SSWP,
 )
 from repro.baselines import BSPReference
-from repro.core import GraphSDConfig, GraphSDEngine, IOModel
+from repro.core import GraphSDConfig, GraphSDEngine
 from repro.graph import EdgeList
 from tests.conftest import build_store, random_edgelist
 

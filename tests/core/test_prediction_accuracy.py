@@ -7,7 +7,6 @@ engine pick the per-iteration winner in Fig. 10. These tests pin the
 prediction/actual agreement band.
 """
 
-import numpy as np
 import pytest
 
 from repro.algorithms import ConnectedComponents, SSSP

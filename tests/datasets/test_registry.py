@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.datasets.registry import (
-    DATASETS,
     dataset_spec,
     list_datasets,
     load_dataset,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.datasets.rmat import RMATParams, SOCIAL, WEB, kronecker_edges, rmat_edges
-from repro.graph.degree import in_degrees, out_degrees
+from repro.graph.degree import out_degrees
 
 
 def test_deterministic_for_fixed_seed():

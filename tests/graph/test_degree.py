@@ -1,7 +1,5 @@
 """Degree computation."""
 
-import numpy as np
-
 from repro.graph.degree import in_degrees, out_degrees
 from repro.graph.edgelist import EdgeList
 

@@ -14,10 +14,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph import EdgeList, GridStore, make_intervals
+from repro.graph import EdgeList, GridStore
 from repro.graph.grid import (
     ENCODING_COMPACT,
-    FORMAT_COMPACT,
     GridFormatError,
     _narrowest_uint,
 )

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.graph import GridStore
 from tests.conftest import build_store, random_edgelist
 
 

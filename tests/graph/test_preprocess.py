@@ -54,9 +54,9 @@ def test_husgraph_pipeline_builds_two_copies(edges, tmp_path):
 def test_fig8_cost_ordering(edges, tmp_path):
     """HUS-Graph > GraphSD > Lumos, as in the paper's Fig. 8."""
     g = preprocess_graphsd(edges, Device(tmp_path / "g", SimulatedDisk()), P=4)
-    l = preprocess_lumos(edges, Device(tmp_path / "l", SimulatedDisk()), P=4)
+    lm = preprocess_lumos(edges, Device(tmp_path / "l", SimulatedDisk()), P=4)
     h = preprocess_husgraph(edges, Device(tmp_path / "h", SimulatedDisk()), P=4)
-    assert h.sim_seconds > g.sim_seconds > l.sim_seconds
+    assert h.sim_seconds > g.sim_seconds > lm.sim_seconds
 
 
 def test_shared_intervals_are_respected(edges, tmp_path):

@@ -6,7 +6,6 @@ import pytest
 from repro.algorithms import PageRank, SSSP
 from repro.baselines import BSPReference
 from repro.datasets import rmat_edges
-from repro.graph import EdgeList
 from repro.graph.degree import out_degrees
 from tests.conftest import random_edgelist
 

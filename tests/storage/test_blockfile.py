@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.storage.blockfile import ArrayFile, Device
+from repro.storage.blockfile import Device
 from repro.storage.disk import DiskProfile, SimulatedDisk
 
 

@@ -164,6 +164,25 @@ def test_pipeline_with_zero_depth_exits_readably(capsys):
     assert "prefetch_depth" in err
 
 
+def test_negative_prefetch_depth_is_a_config_error(capsys):
+    rc = main(
+        [
+            "run",
+            "--dataset",
+            "twitter2010",
+            "--algorithm",
+            "bfs",
+            "--pipeline",
+            "--prefetch-depth",
+            "-1",
+        ]
+    )
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "Traceback" not in err
+
+
 def test_baselines_reject_pipeline_readably(capsys):
     rc = main(
         [
@@ -179,3 +198,80 @@ def test_baselines_reject_pipeline_readably(capsys):
     )
     assert rc == 2
     assert "does not support --pipeline" in capsys.readouterr().err
+
+
+# -- lint subcommand ---------------------------------------------------------
+
+
+def test_lint_clean_file_exits_zero(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    rc = main(["lint", str(clean)])
+    assert rc == 0
+    assert "0 new finding(s)" in capsys.readouterr().out
+
+
+def test_lint_violation_exits_one_with_rendered_finding(tmp_path, capsys):
+    core = tmp_path / "core"
+    core.mkdir()
+    bad = core / "hot.py"
+    bad.write_text("try:\n    pass\nexcept Exception:\n    pass\n")
+    rc = main(["lint", str(bad)])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "GSD105" in out
+    assert "1 new finding(s)" in out
+
+
+def test_lint_json_format_shape(tmp_path, capsys):
+    bad = tmp_path / "swallow.py"
+    bad.write_text("try:\n    pass\nexcept Exception:\n    pass\n")
+    rc = main(["lint", "--format", "json", str(bad)])
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 1
+    assert payload["new_findings"] == 1
+    assert payload["baselined"] == 0
+    assert payload["parse_errors"] == []
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "GSD105"
+    assert finding["severity"] == "error"
+    assert finding["path"].endswith("swallow.py")
+    assert finding["line"] == 3
+    assert finding["new"] is True
+
+
+def test_lint_missing_path_is_operational_error(tmp_path, capsys):
+    rc = main(["lint", str(tmp_path / "nope.py")])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "Traceback" not in err
+
+
+def test_lint_missing_baseline_is_operational_error(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    rc = main(["lint", "--baseline", str(tmp_path / "absent.json"), str(clean)])
+    assert rc == 2
+    assert capsys.readouterr().err.startswith("error:")
+
+
+def test_lint_update_baseline_grandfathers_findings(tmp_path, capsys):
+    bad = tmp_path / "swallow.py"
+    bad.write_text("try:\n    pass\nexcept Exception:\n    pass\n")
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text('{"version": 1, "entries": {}}')
+    rc = main(["lint", "--baseline", str(baseline), "--update-baseline", str(bad)])
+    assert rc == 0
+    assert "1 entry" in capsys.readouterr().out
+    rc = main(["lint", "--baseline", str(baseline), str(bad)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "0 new finding(s), 1 baselined" in out
+
+
+def test_lint_default_scope_is_the_package(capsys):
+    rc = main(["lint"])
+    assert rc == 0
+    assert "file(s) checked" in capsys.readouterr().out
