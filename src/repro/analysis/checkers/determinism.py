@@ -16,6 +16,12 @@ randomness. Inside the engine directories (``core/``, ``graph/``,
 ``utils/`` itself is intentionally out of scope: it is where the two
 sanctioned wrappers (``WallTimer``, ``make_rng``) live.
 
+``obs/`` is in scope with a carve-out: the observability layer's whole
+job is to record *both* timelines, so it may import ``time`` /
+``datetime`` (wall-clock reads never feed back into simulated state —
+traced runs stay bit-identical to untraced ones). Randomness stays
+forbidden there like everywhere else.
+
 Escape hatch: ``# sim-ok: <reason>``.
 """
 
@@ -28,21 +34,29 @@ from repro.analysis.base import Checker, dotted_name
 from repro.analysis.source import SourceFile
 
 _FORBIDDEN_MODULES = ("time", "datetime", "random")
+#: Wall-clock modules the observability layer is allowed to read.
+_WALL_CLOCK_MODULES = ("time", "datetime")
 
 
 class SimDeterminismChecker(Checker):
     rule_id = "GSD101"
     title = "sim paths must not touch wall-clock time or ad-hoc randomness"
     suppress_marker = "sim-ok"
-    scope_dirs = ("core", "graph", "storage", "algorithms")
+    scope_dirs = ("core", "graph", "storage", "algorithms", "obs")
 
     def visit(self, sf: SourceFile) -> None:
+        in_obs = sf.rel.split("/", 1)[0] == "obs"
+        forbidden = tuple(
+            m
+            for m in _FORBIDDEN_MODULES
+            if not (in_obs and m in _WALL_CLOCK_MODULES)
+        )
         numpy_aliases: Set[str] = set()
         for node in ast.walk(sf.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     root = alias.name.split(".", 1)[0]
-                    if root in _FORBIDDEN_MODULES:
+                    if root in forbidden:
                         self.report(
                             node,
                             f"import of {alias.name!r}: use repro.utils.timers "
@@ -53,7 +67,7 @@ class SimDeterminismChecker(Checker):
                         numpy_aliases.add(alias.asname or "numpy")
             elif isinstance(node, ast.ImportFrom):
                 root = (node.module or "").split(".", 1)[0]
-                if root in _FORBIDDEN_MODULES:
+                if root in forbidden:
                     self.report(
                         node,
                         f"import from {node.module!r}: use repro.utils.timers / "

@@ -166,6 +166,7 @@ class Harness:
         pipeline: bool = False,
         prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
         encoding: str = ENCODING_RAW,
+        trace_dir: Optional[str] = None,
     ) -> None:
         if workspace is None:
             self._tmpdir = tempfile.mkdtemp(prefix="graphsd-bench-")
@@ -186,6 +187,11 @@ class Harness:
         #: representations (lumos, husgraph) always build raw grids —
         #: the compared systems do not have the compact layout.
         self.encoding = encoding
+        #: When set, every *executed* run writes a structured trace
+        #: (docs/OBSERVABILITY.md) into this directory, named after its
+        #: cell. Memoized cells execute once, so each unique cell yields
+        #: exactly one trace file per sweep.
+        self.trace_dir: Optional[Path] = Path(trace_dir) if trace_dir else None
         self._stores: Dict[Tuple, Tuple[GridStore, PreprocessResult]] = {}
         self._edges: Dict[Tuple, EdgeList] = {}
         self._contexts: Dict[Tuple, GraphContext] = {}
@@ -256,6 +262,7 @@ class Harness:
         use_cache: bool = True,
         pipeline: Optional[bool] = None,
         prefetch_depth: Optional[int] = None,
+        trace_path: Optional[str] = None,
     ) -> RunResult:
         """Execute one (system, workload, dataset) cell.
 
@@ -267,6 +274,13 @@ class Harness:
         ``pipeline``/``prefetch_depth`` resolve per call → per workload →
         harness default; pipelined cells are cached separately (they
         produce identical results but different elapsed times).
+
+        ``trace_path`` (or the harness-level ``trace_dir``) attaches a
+        structured tracer to the engine — every engine, baselines
+        included, supports it via
+        :meth:`~repro.core.engine_base.EngineBase.attach_tracer`.
+        Memoized cells do not re-execute, so no trace is written for a
+        cache hit.
         """
         workload = WORKLOADS[workload_key]
         if pipeline is None:
@@ -290,6 +304,15 @@ class Harness:
         engine = spec.make_engine(
             store, self.machine, ctx, pipeline=pipeline, prefetch_depth=prefetch_depth
         )
+        if trace_path is None and self.trace_dir is not None:
+            suffix = "-pipelined" if pipeline else ""
+            name = f"{system}-{workload_key}-{dataset}{suffix}.trace.jsonl"
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+            trace_path = str(self.trace_dir / name)
+        if trace_path is not None:
+            from repro.obs import Tracer
+
+            engine.attach_tracer(Tracer(), path=trace_path)
         result = engine.run(workload.make_program())
         if self.verify:
             self.check_against_reference(result, workload, dataset)

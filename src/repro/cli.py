@@ -12,6 +12,11 @@ Subcommands
     run summary plus the per-iteration trace.
 ``bench``
     Regenerate one of the paper's tables/figures (or ``all``).
+``trace``
+    Inspect structured trace files written by ``run --trace PATH`` or
+    ``bench --trace DIR``: ``trace report`` prints the per-iteration and
+    scheduler-audit summary, ``trace export`` converts to the Chrome /
+    Perfetto ``trace_event`` format (see ``docs/OBSERVABILITY.md``).
 ``lint``
     Run the project-invariant static checkers (see ``docs/ANALYSIS.md``).
     Exit 0 when clean, 1 on new findings, 2 on bad usage.
@@ -90,13 +95,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
         prefetch_depth=args.prefetch_depth,
         encoding=args.encoding,
     )
+    trace_path = args.trace if isinstance(args.trace, str) else None
     try:
-        result = harness.run(args.system, args.algorithm, args.dataset)
+        result = harness.run(
+            args.system, args.algorithm, args.dataset, trace_path=trace_path
+        )
     finally:
         if args.workspace is None:
             harness.cleanup()
+    if args.stats == "json":
+        # Stable machine-readable result on stdout (docs/OBSERVABILITY.md);
+        # the human summary and iteration table are suppressed so the
+        # output stays parseable.
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        if trace_path:
+            print(f"wrote {trace_path}", file=sys.stderr)
+        return 0
     print(result.summary())
-    if args.trace:
+    if trace_path:
+        print(f"wrote {trace_path}")
+    if args.trace is True:
         rows = [
             [
                 r.iteration,
@@ -206,11 +224,30 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    with Harness(P=args.partitions, verify=args.verify) as harness:
+    with Harness(
+        P=args.partitions, verify=args.verify, trace_dir=args.trace
+    ) as harness:
         for name in names:
             for report in _EXPERIMENTS[name](harness):
                 print(report.render())
                 print()
+    if args.trace:
+        print(f"traces in {args.trace}")
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from repro.obs import export_file
+
+    count = export_file(args.trace_file, args.out)
+    print(f"wrote {args.out} ({count} trace events)")
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs import render_report
+
+    print(render_report(args.trace_file))
     return 0
 
 
@@ -253,7 +290,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--system", default="graphsd", choices=list(SYSTEMS))
     p.add_argument("-P", "--partitions", type=int, default=8)
     p.add_argument("--workspace", default=None, help="reuse a preprocessing workspace")
-    p.add_argument("--trace", action="store_true", help="print the per-iteration trace")
+    p.add_argument(
+        "--trace",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="bare: print the per-iteration table; with PATH: write the "
+        "structured JSONL trace there (see docs/OBSERVABILITY.md)",
+    )
+    p.add_argument(
+        "--stats",
+        choices=["text", "json"],
+        default="text",
+        help="result format on stdout: the human summary (text) or the "
+        "stable RunResult JSON document (json)",
+    )
     p.add_argument("--verify", action="store_true", help="check against the BSP oracle")
     p.add_argument("--json", default=None, help="write a JSON result file")
     p.add_argument("--csv", default=None, help="write a per-iteration CSV trace")
@@ -321,7 +373,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("-P", "--partitions", type=int, default=8)
     p.add_argument("--verify", action="store_true")
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="write a structured JSONL trace per executed cell into DIR",
+    )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "trace", help="inspect structured trace files (docs/OBSERVABILITY.md)"
+    )
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    t = tsub.add_parser(
+        "export", help="convert a trace to Chrome/Perfetto trace_event JSON"
+    )
+    t.add_argument("trace_file", help="JSONL trace written by run/bench --trace")
+    t.add_argument("--out", required=True, help="output .json file for Perfetto")
+    t.set_defaults(func=_cmd_trace_export)
+    t = tsub.add_parser(
+        "report", help="print the per-iteration and scheduler-audit summary"
+    )
+    t.add_argument("trace_file", help="JSONL trace written by run/bench --trace")
+    t.set_defaults(func=_cmd_trace_report)
 
     return parser
 

@@ -54,6 +54,7 @@ import numpy as np
 from numpy.typing import DTypeLike
 
 from repro.graph.vertexdata import VertexArrayStore
+from repro.obs import NULL_TRACER, TracerLike
 from repro.storage.blockfile import Device
 from repro.utils.bitset import VertexSubset
 from repro.utils.validation import require
@@ -116,6 +117,9 @@ class CheckpointManager:
         self.device = device
         self.base_name = base_name
         self._active: Optional[CheckpointMeta] = None
+        #: Observability hook (set by the owning engine): checkpoint
+        #: array persists and the sidecar commit get their own spans.
+        self.tracer: TracerLike = NULL_TRACER
 
     # -- naming ------------------------------------------------------------
 
@@ -206,18 +210,21 @@ class CheckpointManager:
             stale.unlink()
 
         checksums: Dict[str, Dict[str, int]] = {}
-        frontier_name = self._array_name("frontier", slot)
-        self._persist(frontier_name, frontier.mask, checksums)
-        extra_names: Dict[str, str] = {"frontier": frontier_name}
-        for label, arr in (extra_arrays or {}).items():
-            name = self._array_name(f"extra.{label}", slot)
-            self._persist(name, arr, checksums)
-            extra_names[label] = name
-        state_names: Dict[str, str] = {}
-        for label, arr in (state_arrays or {}).items():
-            name = self._array_name(f"state.{label}", slot)
-            self._persist(name, arr, checksums)
-            state_names[label] = name
+        with self.tracer.span(
+            "checkpoint.persist_arrays", cat="checkpoint", generation=generation
+        ):
+            frontier_name = self._array_name("frontier", slot)
+            self._persist(frontier_name, frontier.mask, checksums)
+            extra_names: Dict[str, str] = {"frontier": frontier_name}
+            for label, arr in (extra_arrays or {}).items():
+                name = self._array_name(f"extra.{label}", slot)
+                self._persist(name, arr, checksums)
+                extra_names[label] = name
+            state_names: Dict[str, str] = {}
+            for label, arr in (state_arrays or {}).items():
+                name = self._array_name(f"state.{label}", slot)
+                self._persist(name, arr, checksums)
+                state_names[label] = name
 
         inj = self.device.disk.injector
         if inj is not None:
@@ -237,8 +244,11 @@ class CheckpointManager:
         # The sidecar commits the generation: write-to-temp + atomic
         # rename, and only after every array landed. A crash anywhere
         # above leaves the other slot's generation in force.
-        target = self._sidecar_path(slot)
-        self.device.write_meta_text(target.name, meta.to_json(), atomic=True)
+        with self.tracer.span(
+            "checkpoint.commit", cat="checkpoint", generation=generation
+        ):
+            target = self._sidecar_path(slot)
+            self.device.write_meta_text(target.name, meta.to_json(), atomic=True)
         self._active = meta
 
     # -- restoring -----------------------------------------------------

@@ -50,6 +50,7 @@ from repro.core.scheduler import (
 )
 from repro.core.sciu import run_sciu_round
 from repro.graph.grid import EdgeBlock, GridStore
+from repro.obs import Tracer
 from repro.storage.faults import GatherFault
 from repro.storage.disk import MachineProfile, DEFAULT_MACHINE
 from repro.storage.prefetch import BlockPrefetcher
@@ -91,6 +92,12 @@ class GraphSDConfig:
     #: Lookahead of the prefetch pipeline; must be >= 1 when ``pipeline``
     #: is enabled. Ignored in serial mode.
     prefetch_depth: int = DEFAULT_PREFETCH_DEPTH
+    #: Observability: when set, the engine records a full dual-timeline
+    #: trace (spans, per-iteration records, scheduler audit — see
+    #: :mod:`repro.obs`) and writes it to this JSONL path when the run
+    #: completes. ``None`` (default) attaches the no-op tracer: results
+    #: and IOStats are bit-identical either way.
+    trace: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_nonneg(self.buffer_fraction, "buffer_fraction")
@@ -155,6 +162,8 @@ class GraphSDEngine(EngineBase):
         self.acc_next: Optional[np.ndarray] = None
         self.touched_next: Optional[np.ndarray] = None
         self.cost_estimates: List[CostEstimate] = []
+        if self.config.trace is not None:
+            self.attach_tracer(Tracer(), path=self.config.trace)
 
     # -- run setup ---------------------------------------------------------
 
@@ -199,7 +208,7 @@ class GraphSDEngine(EngineBase):
         same plan-then-consume code path.
         """
         depth = self.config.prefetch_depth if self.pipeline_enabled else 0
-        return BlockPrefetcher(depth, stats=self.disk.stats)
+        return BlockPrefetcher(depth, stats=self.disk.stats, tracer=self.tracer)
 
     def overlap_region(self) -> "ContextManager[Optional[OverlapRegion]]":
         """A clock overlap region when pipelining, else a null context."""
@@ -292,17 +301,22 @@ class GraphSDEngine(EngineBase):
             return self.config.force_model
         if self.program.all_active or not self.config.enable_selective:
             return IOModel.FULL
-        before = self.scheduler.eval_seconds
-        estimate = self.scheduler.select(self.frontier)
-        self.clock.charge(SCHEDULING, self.scheduler.eval_seconds - before)
+        with self.tracer.span("select_model", cat="scheduler"):
+            before = self.scheduler.eval_seconds
+            estimate = self.scheduler.select(self.frontier)
+            self.clock.charge(SCHEDULING, self.scheduler.eval_seconds - before)
         self.cost_estimates.append(estimate)
+        # Open a decision audit record; it is closed with the actual
+        # simulated cost once the decided iteration has executed.
+        self.tracer.audit_open(self._iterations_done + 1, estimate)
         return estimate.chosen
 
     def _run_round(self) -> VertexSubset:
+        first_record = len(self._records)
         model = self.select_model()
         if model is IOModel.ON_DEMAND:
             try:
-                return run_sciu_round(self)
+                frontier = run_sciu_round(self)
             except GatherFault as exc:
                 # Graceful degradation: an unrecoverable fault during an
                 # on-demand gather (retry budget exhausted) aborts the
@@ -314,5 +328,17 @@ class GraphSDEngine(EngineBase):
                     f"iteration {self._iterations_done + 1}: on-demand gather "
                     f"failed ({exc}); degraded to full streaming"
                 )
-                return run_fciu_round(self)
-        return run_fciu_round(self)
+                frontier = run_fciu_round(self)
+        else:
+            frontier = run_fciu_round(self)
+        # Close the pending §4.1 audit with the first iteration the
+        # decision produced (an FCIU round runs two; the prediction
+        # priced one). ``actual_model`` exposes fault degradation.
+        if self.tracer.enabled and len(self._records) > first_record:
+            record = self._records[first_record]
+            self.tracer.audit_close(
+                actual_sim_seconds=record.breakdown.total,
+                actual_io_seconds=record.breakdown.io,
+                actual_model=record.model,
+            )
+        return frontier

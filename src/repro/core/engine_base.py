@@ -38,6 +38,7 @@ from repro.algorithms.base import (
 from repro.core.result import IterationRecord, RunResult
 from repro.graph.grid import EdgeBlock, GridStore
 from repro.graph.vertexdata import VertexArrayStore
+from repro.obs import NULL_TRACER, TracerLike
 from repro.storage.disk import MachineProfile, DEFAULT_MACHINE
 from repro.storage.iostats import IOStats
 from repro.utils.bitset import VertexSubset
@@ -73,6 +74,22 @@ class EngineBase:
         self._iterations_done = 0
         self._iteration_cap = 0
         self._fault_events: List[str] = []
+        self.tracer: TracerLike = NULL_TRACER
+        self._trace_path: Optional[str] = None
+
+    # -- observability -----------------------------------------------------
+
+    def attach_tracer(self, tracer: TracerLike, path: Optional[str] = None) -> None:
+        """Attach an observability tracer (see :mod:`repro.obs`).
+
+        ``path`` (optional) is where :meth:`run` writes the JSONL trace
+        when the run completes. The tracer only *reads* the simulated
+        clock, so attaching one never changes results or charged time.
+        """
+        self.tracer = tracer
+        if tracer.enabled:
+            tracer.bind_clock(self.clock)
+        self._trace_path = path
 
     # -- context ---------------------------------------------------------
 
@@ -116,13 +133,15 @@ class EngineBase:
 
     def _store_state(self) -> None:
         """Write every state array back to disk (charged sequential write)."""
-        for name, arr in self.state.items():
-            self._value_stores[name].store_all(arr)
+        with self.tracer.span("store_state", cat="state"):
+            for name, arr in self.state.items():
+                self._value_stores[name].store_all(arr)
 
     def _load_state(self) -> None:
         """Re-read every state array from disk (charged sequential read)."""
-        for name in self.state:
-            self.state[name] = self._value_stores[name].load_all()
+        with self.tracer.span("load_state", cat="state"):
+            for name in self.state:
+                self.state[name] = self._value_stores[name].load_all()
 
     def _cleanup_value_stores(self) -> None:
         for vs in self._value_stores.values():
@@ -222,18 +241,24 @@ class EngineBase:
     ) -> None:
         clock_before, stats_before = token
         self._iterations_done += 1
-        self._records.append(
-            IterationRecord(
-                iteration=self._iterations_done,
-                model=model,
-                frontier_size=frontier_size,
-                edges_processed=edges_processed,
-                breakdown=self.clock.snapshot() - clock_before,
-                io=self.disk.stats - stats_before,
-                activated=activated,
-                cross_pushed=cross_pushed,
-            )
+        # One delta computation feeds both the record and the trace
+        # event, so their simulated fields can never disagree.
+        record = IterationRecord(
+            iteration=self._iterations_done,
+            model=model,
+            frontier_size=frontier_size,
+            edges_processed=edges_processed,
+            breakdown=self.clock.snapshot() - clock_before,
+            io=self.disk.stats - stats_before,
+            activated=activated,
+            cross_pushed=cross_pushed,
+            metrics=self.tracer.metrics.snapshot() if self.tracer.enabled else {},
         )
+        self._records.append(record)
+        if self.tracer.enabled:
+            payload = record.to_dict()
+            payload["sim_start"] = clock_before.total
+            self.tracer.iteration(payload)
 
     @property
     def iterations_remaining(self) -> int:
@@ -285,7 +310,9 @@ class EngineBase:
         from repro.core.checkpoint import CheckpointManager
 
         base = f"{self.store.prefix}.{self.engine_name}.{self.program.name}.{tag}"
-        return CheckpointManager(self.device, base)
+        manager = CheckpointManager(self.device, base)
+        manager.tracer = self.tracer
+        return manager
 
     def _graph_fingerprint(self) -> Tuple[int, int, int]:
         """Identity of the graph a checkpoint belongs to."""
@@ -323,6 +350,18 @@ class EngineBase:
         caps = [c for c in (program.max_iterations, max_iterations) if c is not None]
         self._iteration_cap = min(caps) if caps else self.ctx.num_vertices + 1
 
+        if self.tracer.enabled:
+            self.tracer.bind_clock(self.clock)
+            self.tracer.begin_run(
+                engine=self.engine_name,
+                program=program.name,
+                num_vertices=self.ctx.num_vertices,
+                num_edges=self.ctx.num_edges,
+                partitions=self.store.P,
+            )
+            # The disk reports read/write-size histograms while attached.
+            self.disk.metrics = self.tracer.metrics
+
         run_clock_before = self.clock.snapshot()
         run_stats_before = self.disk.stats.snapshot()
         wall = WallTimer()
@@ -350,25 +389,41 @@ class EngineBase:
             self._restore_extra_arrays(manager)
 
         converged = False
-        while True:
-            if self.frontier.is_empty() and not self._has_pending_work():
-                converged = True
-                break
-            if self._iterations_done >= self._iteration_cap:
-                break
-            self._load_state()
-            self.frontier = self._run_round()
-            self._crash_point("post-apply")
-            if manager is not None:
-                manager.write(
-                    program.name,
-                    self._iterations_done,
-                    self.frontier,
-                    state_arrays=dict(self.state),
-                    extra_arrays=self._checkpoint_extra_arrays(),
-                    fingerprint=self._graph_fingerprint(),
-                )
-                self._crash_point("after-checkpoint")
+        try:
+            while True:
+                if self.frontier.is_empty() and not self._has_pending_work():
+                    converged = True
+                    break
+                if self._iterations_done >= self._iteration_cap:
+                    break
+                if self.tracer.enabled:
+                    self.tracer.metrics.observe(
+                        "frontier.density",
+                        self.frontier.count / max(1, self.ctx.num_vertices),
+                    )
+                self._load_state()
+                self.frontier = self._run_round()
+                self._crash_point("post-apply")
+                if manager is not None:
+                    with self.tracer.span(
+                        "checkpoint_write",
+                        cat="checkpoint",
+                        iteration=self._iterations_done,
+                    ):
+                        manager.write(
+                            program.name,
+                            self._iterations_done,
+                            self.frontier,
+                            state_arrays=dict(self.state),
+                            extra_arrays=self._checkpoint_extra_arrays(),
+                            fingerprint=self._graph_fingerprint(),
+                        )
+                    self.tracer.metrics.inc("checkpoint.writes")
+                    self._crash_point("after-checkpoint")
+        finally:
+            # Never leak the metrics hook into later (untraced) runs on
+            # the same simulated disk.
+            self.disk.metrics = None
 
         wall.stop()
         values = self.program.result(self.state).copy()
@@ -393,4 +448,21 @@ class EngineBase:
             if checkpoint_tag is None or converged:
                 self._cleanup_value_stores()
             # otherwise the value files back the live checkpoint
+        if self.tracer.enabled:
+            self.tracer.run_summary(
+                {
+                    "engine": result.engine,
+                    "program": result.program,
+                    "iterations": result.iterations,
+                    "converged": result.converged,
+                    "sim_seconds": result.breakdown.total,
+                    "overlap_saved": result.breakdown.overlap_saved,
+                    "sim": dict(result.breakdown.components),
+                    "io": result.io.to_dict(),
+                    "wall_seconds": result.wall_seconds,
+                    "fault_events": list(result.fault_events),
+                }
+            )
+            if self._trace_path is not None:
+                self.tracer.write(self._trace_path)
         return result

@@ -168,7 +168,10 @@ def run_fciu_round(engine: "GraphSDEngine") -> VertexSubset:
     admit = engine.buffer_enabled
     gates = [threading.Event() for _ in range(P)] if admit else None
     tasks = _column_tasks(engine, prefetcher, lambda j: 0, gates=gates)
-    with engine.overlap_region() as region:
+    phase1_span = engine.tracer.span(
+        "fciu.phase1", cat="phase", cross=do_cross, columns=P
+    )
+    with phase1_span, engine.overlap_region() as region:
         if region is not None:
             tasks[0] = region.measure_fill(tasks[0])
         stream = prefetcher.run(tasks)
@@ -199,6 +202,9 @@ def run_fciu_round(engine: "GraphSDEngine") -> VertexSubset:
                             )
                             engine.buffer.put((i, j), block, priority, nbytes=stored_bytes)
                     gates[j].set()
+                    engine.tracer.metrics.set_gauge(
+                        "buffer.occupancy_bytes", engine.buffer.used_bytes
+                    )
 
                 diag_block = None
                 for i, block, _from_cache in column:
@@ -276,7 +282,8 @@ def run_fciu_round(engine: "GraphSDEngine") -> VertexSubset:
     # No gating: phase 2 never mutates the buffer, so lookahead residency
     # checks are race-free.
     tasks2 = _column_tasks(engine, prefetcher2, lambda j: j + 1)
-    with engine.overlap_region() as region2:
+    phase2_span = engine.tracer.span("fciu.phase2", cat="phase", columns=P)
+    with phase2_span, engine.overlap_region() as region2:
         if region2 is not None:
             tasks2[0] = region2.measure_fill(tasks2[0])
         stream2 = prefetcher2.run(tasks2)

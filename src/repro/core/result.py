@@ -8,12 +8,13 @@ traces and breakdowns without knowing which engine produced them.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List
 
 import numpy as np
 
-from repro.storage.iostats import IOStats
+from repro.storage.iostats import IOStats, WALL_CLOCK_DEPENDENT_FIELDS
 from repro.utils.timers import TimeBreakdown
 
 
@@ -29,6 +30,9 @@ class IterationRecord:
     io: IOStats
     activated: int = 0
     cross_pushed: int = 0
+    #: Cumulative metrics-registry snapshot taken when the iteration
+    #: closed (empty when tracing is disabled). See ``repro.obs.metrics``.
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def sim_seconds(self) -> float:
@@ -42,6 +46,22 @@ class IterationRecord:
     def overlap_saved_seconds(self) -> float:
         """Simulated time this iteration hid via I/O–compute overlap."""
         return self.breakdown.overlap_saved
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable JSON form (also the trace stream's iteration payload)."""
+        return {
+            "iteration": self.iteration,
+            "model": self.model,
+            "frontier_size": self.frontier_size,
+            "edges_processed": self.edges_processed,
+            "activated": self.activated,
+            "cross_pushed": self.cross_pushed,
+            "sim_seconds": self.breakdown.total,
+            "overlap_saved": self.breakdown.overlap_saved,
+            "sim": dict(self.breakdown.components),
+            "io": self.io.to_dict(),
+            "metrics": dict(self.metrics),
+        }
 
 
 @dataclass
@@ -120,10 +140,96 @@ class RunResult:
             if self.overlap_saved_seconds > 0
             else ""
         )
+        prefetch = (
+            f"prefetch {self.prefetch_hits}/{self.prefetch_issued} hits, "
+            if self.prefetch_issued > 0
+            else ""
+        )
+        faults = (
+            f", {len(self.fault_events)} fault(s) absorbed"
+            if self.fault_events
+            else ""
+        )
         return (
             f"{self.engine}/{self.program}: {self.iterations} iters, "
             f"sim {self.sim_seconds:.3f}s (io {self.io_seconds:.3f}s, "
-            f"compute {self.compute_seconds:.3f}s), {overlap}"
+            f"compute {self.compute_seconds:.3f}s), {overlap}{prefetch}"
             f"traffic {self.io_traffic / (1 << 20):.1f} MiB, "
             f"{'converged' if self.converged else 'iteration cap reached'}"
+            f"{faults}"
         )
+
+    def values_sha256(self) -> str:
+        """Digest of the result values (bit-exact identity check)."""
+        return hashlib.sha256(
+            np.ascontiguousarray(self.values).tobytes()
+        ).hexdigest()
+
+    def to_dict(self, include_values: bool = False) -> Dict[str, Any]:
+        """The full result as stable, JSON-serializable data.
+
+        ``values`` are summarized by their SHA-256 by default (bitwise
+        identity without megabytes of floats); ``include_values=True``
+        inlines the full array as a list.
+        """
+        out: Dict[str, Any] = {
+            "engine": self.engine,
+            "program": self.program,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "iterations": self.iterations,
+            "converged": self.converged,
+            "sim_seconds": self.sim_seconds,
+            "wall_seconds": self.wall_seconds,
+            "breakdown": self.breakdown.to_dict(),
+            "io": self.io.to_dict(),
+            "per_iteration": [r.to_dict() for r in self.per_iteration],
+            "fault_events": list(self.fault_events),
+            "values_dtype": str(self.values.dtype),
+            "values_sha256": self.values_sha256(),
+        }
+        if include_values:
+            out["values"] = self.values.tolist()
+        return out
+
+
+def equivalence_diff(a: RunResult, b: RunResult) -> List[str]:
+    """Differences between two runs that *should* be identical.
+
+    Used to assert that observability (tracing) and pipelining change
+    nothing observable: values must be bit-identical, iteration structure
+    and simulated time must match exactly, and every ``IOStats`` counter
+    must agree except the documented wall-clock-dependent ones
+    (:data:`~repro.storage.iostats.WALL_CLOCK_DEPENDENT_FIELDS`).
+    Returns human-readable difference descriptions; empty == equivalent.
+    """
+    diffs: List[str] = []
+    for attr in ("engine", "program", "iterations", "converged"):
+        if getattr(a, attr) != getattr(b, attr):
+            diffs.append(f"{attr}: {getattr(a, attr)!r} != {getattr(b, attr)!r}")
+    if a.values.dtype != b.values.dtype or not np.array_equal(a.values, b.values):
+        diffs.append("values differ")
+    if a.breakdown.to_dict() != b.breakdown.to_dict():
+        diffs.append(f"breakdown: {a.breakdown!r} != {b.breakdown!r}")
+    io_a, io_b = a.io.to_dict(), b.io.to_dict()
+    for name in io_a:
+        if name in WALL_CLOCK_DEPENDENT_FIELDS:
+            continue
+        if io_a[name] != io_b[name]:
+            diffs.append(f"io.{name}: {io_a[name]} != {io_b[name]}")
+    if len(a.per_iteration) != len(b.per_iteration):
+        diffs.append(
+            f"per_iteration length: {len(a.per_iteration)} != {len(b.per_iteration)}"
+        )
+    else:
+        for ra, rb in zip(a.per_iteration, b.per_iteration):
+            da, db = ra.to_dict(), rb.to_dict()
+            # metrics snapshots exist only on the traced side, and the
+            # io map carries the wall-clock-dependent counters.
+            for d in (da, db):
+                d.pop("metrics")
+                for name in WALL_CLOCK_DEPENDENT_FIELDS:
+                    d["io"].pop(name, None)
+            if da != db:
+                diffs.append(f"iteration {ra.iteration} records differ")
+    return diffs

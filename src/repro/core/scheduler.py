@@ -75,6 +75,19 @@ class CostEstimate:
         """Positive when the chosen model is predicted to be cheaper."""
         return abs(self.c_full - self.c_on_demand)
 
+    def to_dict(self) -> dict:
+        """Stable JSON form (used by ``--stats json`` and the audit log)."""
+        return {
+            "active_vertices": self.active_vertices,
+            "active_edges": self.active_edges,
+            "c_full": self.c_full,
+            "c_on_demand": self.c_on_demand,
+            "s_seq_bytes": self.s_seq_bytes,
+            "s_ran_bytes": self.s_ran_bytes,
+            "index_bytes": self.index_bytes,
+            "chosen": self.chosen.value,
+        }
+
 
 #: Index access modes, decided per source interval (row).
 INDEX_SCAN = 0  #: sequentially read the row's full offset arrays

@@ -98,7 +98,8 @@ def run_sciu_round(engine: "GraphSDEngine") -> VertexSubset:
         carried_backup = None
 
     try:
-        index_plan = engine.scheduler.plan_index_access(frontier)
+        with engine.tracer.span("sciu.plan", cat="phase"):
+            index_plan = engine.scheduler.plan_index_access(frontier)
         active_per_row = index_plan.active_per_row
 
         # ---- plan: resolve buffer hits, thunk everything else ----------
@@ -130,22 +131,25 @@ def run_sciu_round(engine: "GraphSDEngine") -> VertexSubset:
         retained: List[EdgeBlock] = []
         edges_processed = 0
         prefetcher = engine.make_prefetcher()
-        with engine.overlap_region() as region:
-            if region is not None and tasks:
-                tasks[0] = region.measure_fill(tasks[0])
-            stream = prefetcher.run(tasks)
-            try:
-                for _i, _j, buffered in plan:
-                    engine._crash_point("mid-scatter")
-                    block = buffered if buffered is not None else next(stream)
-                    if block.count == 0:
-                        continue
-                    contrib, edge_mask = engine.gather_block(prev, block)
-                    engine.combine_block(acc, touched, block, contrib, edge_mask)
-                    retained.append(block)
-                    edges_processed += block.count
-            finally:
-                stream.close()
+        with engine.tracer.span(
+            "sciu.scatter", cat="phase", blocks=len(plan), tasks=len(tasks)
+        ):
+            with engine.overlap_region() as region:
+                if region is not None and tasks:
+                    tasks[0] = region.measure_fill(tasks[0])
+                stream = prefetcher.run(tasks)
+                try:
+                    for _i, _j, buffered in plan:
+                        engine._crash_point("mid-scatter")
+                        block = buffered if buffered is not None else next(stream)
+                        if block.count == 0:
+                            continue
+                        contrib, edge_mask = engine.gather_block(prev, block)
+                        engine.combine_block(acc, touched, block, contrib, edge_mask)
+                        retained.append(block)
+                        edges_processed += block.count
+                finally:
+                    stream.close()
     except FaultError as exc:
         if carried_backup is not None:
             engine.acc_next, engine.touched_next = carried_backup
@@ -153,8 +157,9 @@ def run_sciu_round(engine: "GraphSDEngine") -> VertexSubset:
 
     activated_mask = np.zeros(n, dtype=bool)
     n_activated = 0
-    for j in range(store.P):
-        n_activated += engine.apply_interval(j, acc, touched, activated_mask)
+    with engine.tracer.span("sciu.apply", cat="phase"):
+        for j in range(store.P):
+            n_activated += engine.apply_interval(j, acc, touched, activated_mask)
     engine._store_state()
 
     cross_pushed = 0
@@ -168,19 +173,22 @@ def run_sciu_round(engine: "GraphSDEngine") -> VertexSubset:
         cross_pushed = int(np.count_nonzero(candidates))
         if cross_pushed:
             acc_next, touched_next = engine.acc_next, engine.touched_next
-            for block in retained:
-                keep = candidates[block.src]
-                if not keep.any():
-                    continue
-                sub = EdgeBlock(
-                    block.i,
-                    block.j,
-                    block.src[keep],
-                    block.dst[keep],
-                    None if block.wgt is None else block.wgt[keep],
-                )
-                contrib, edge_mask = engine.gather_block(engine.state, sub)
-                engine.combine_block(acc_next, touched_next, sub, contrib, edge_mask)
+            with engine.tracer.span(
+                "sciu.cross_push", cat="phase", vertices=cross_pushed
+            ):
+                for block in retained:
+                    keep = candidates[block.src]
+                    if not keep.any():
+                        continue
+                    sub = EdgeBlock(
+                        block.i,
+                        block.j,
+                        block.src[keep],
+                        block.dst[keep],
+                        None if block.wgt is None else block.wgt[keep],
+                    )
+                    contrib, edge_mask = engine.gather_block(engine.state, sub)
+                    engine.combine_block(acc_next, touched_next, sub, contrib, edge_mask)
             # Cross-pushed vertices leave Out: their edges need not be
             # loaded next iteration (Algorithm 2, line 17).
             activated_mask &= ~candidates

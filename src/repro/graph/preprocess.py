@@ -29,6 +29,7 @@ import numpy as np
 from repro.graph.edgelist import EdgeList
 from repro.graph.grid import ENCODING_RAW, GridStore
 from repro.graph.partition import VertexIntervals, make_intervals
+from repro.obs import NULL_TRACER, TracerLike
 from repro.storage.blockfile import Device
 from repro.storage.disk import MachineProfile, DEFAULT_MACHINE
 from repro.utils.timers import COMPUTE, TimeBreakdown, WallTimer
@@ -101,9 +102,14 @@ def _run(
     edges: EdgeList,
     intervals: VertexIntervals,
     build,
+    tracer: TracerLike = NULL_TRACER,
 ) -> PreprocessResult:
+    if tracer.enabled:
+        tracer.bind_clock(device.disk.clock)
     before = device.disk.clock.snapshot()
-    with WallTimer() as wall:
+    with WallTimer() as wall, tracer.span(
+        "preprocess", cat="preprocess", system=system, edges=edges.num_edges
+    ):
         stores = build()
         # Degrees fall out of the partition pass (each edge's source is
         # examined anyway), so no extra time is charged; carrying them
@@ -129,6 +135,7 @@ def preprocess_graphsd(
     intervals: Optional[VertexIntervals] = None,
     machine: MachineProfile = DEFAULT_MACHINE,
     encoding: str = ENCODING_RAW,
+    tracer: TracerLike = NULL_TRACER,
 ) -> PreprocessResult:
     """GraphSD pipeline: one sorted, indexed grid copy.
 
@@ -151,7 +158,7 @@ def preprocess_graphsd(
             )
         ]
 
-    return _run("graphsd", device, edges, intervals, build)
+    return _run("graphsd", device, edges, intervals, build, tracer=tracer)
 
 
 def preprocess_lumos(
@@ -161,6 +168,7 @@ def preprocess_lumos(
     prefix: str = "lumos",
     intervals: Optional[VertexIntervals] = None,
     machine: MachineProfile = DEFAULT_MACHINE,
+    tracer: TracerLike = NULL_TRACER,
 ) -> PreprocessResult:
     """Lumos pipeline: one unsorted, unindexed grid copy."""
     intervals = _resolve_intervals(edges, P, intervals)
@@ -175,7 +183,7 @@ def preprocess_lumos(
             )
         ]
 
-    return _run("lumos", device, edges, intervals, build)
+    return _run("lumos", device, edges, intervals, build, tracer=tracer)
 
 
 def preprocess_husgraph(
@@ -185,6 +193,7 @@ def preprocess_husgraph(
     prefix: str = "husgraph",
     intervals: Optional[VertexIntervals] = None,
     machine: MachineProfile = DEFAULT_MACHINE,
+    tracer: TracerLike = NULL_TRACER,
 ) -> PreprocessResult:
     """HUS-Graph pipeline: two sorted copies (source- and destination-organized).
 
@@ -207,4 +216,4 @@ def preprocess_husgraph(
         )
         return [primary, secondary]
 
-    return _run("husgraph", device, edges, intervals, build)
+    return _run("husgraph", device, edges, intervals, build, tracer=tracer)

@@ -1,0 +1,180 @@
+"""Export graphsd JSONL traces to Chrome / Perfetto ``trace_event`` JSON.
+
+The output is the Trace Event Format's *JSON object* flavour
+(``{"traceEvents": [...], ...}``) accepted by ``chrome://tracing`` and
+https://ui.perfetto.dev. Two synthetic "processes" separate the
+timelines so both can be inspected in one UI:
+
+* pid ``1`` (``sim``) — simulated time: spans placed at their
+  ``sim_start`` with ``sim_dur`` duration, iteration markers, plus
+  counter tracks for per-iteration frontier size and I/O bytes;
+* pid ``2`` (``wall``) — the same spans on the host timeline
+  (``wall_start``/``wall_dur``), one tid per Python thread.
+
+Timestamps are microseconds (the format's unit); sub-microsecond sim
+durations survive because the format takes floats.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.obs.schema import validate_trace_file
+
+_SIM_PID = 1
+_WALL_PID = 2
+_US = 1e6
+
+
+def _meta_event(pid: int, name: str) -> Dict[str, Any]:
+    return {
+        "ph": "M",
+        "pid": pid,
+        "tid": 0,
+        "name": "process_name",
+        "args": {"name": name},
+    }
+
+
+def to_chrome_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert validated graphsd trace events to a trace_event object."""
+    out: List[Dict[str, Any]] = [
+        _meta_event(_SIM_PID, "sim"),
+        _meta_event(_WALL_PID, "wall"),
+    ]
+    meta: Dict[str, Any] = {}
+    thread_ids: Dict[str, int] = {}
+    last_iter_ts = 0.0
+
+    def tid_of(thread: str) -> int:
+        if thread not in thread_ids:
+            tid = len(thread_ids) + 1
+            thread_ids[thread] = tid
+            out.append(
+                {
+                    "ph": "M",
+                    "pid": _WALL_PID,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": thread},
+                }
+            )
+        return thread_ids[thread]
+
+    for event in events:
+        etype = event.get("type")
+        if etype == "meta":
+            meta = {k: v for k, v in event.items() if k != "type"}
+        elif etype == "span":
+            args = dict(event.get("attrs") or {})
+            args["sim_disk"] = event["sim_disk"]
+            args["sim_cpu"] = event["sim_cpu"]
+            common = {
+                "ph": "X",
+                "name": event["name"],
+                "cat": event["cat"],
+                "args": args,
+            }
+            out.append(
+                {
+                    **common,
+                    "pid": _SIM_PID,
+                    "tid": tid_of(event["thread"]),
+                    "ts": event["sim_start"] * _US,
+                    "dur": event["sim_dur"] * _US,
+                }
+            )
+            out.append(
+                {
+                    **common,
+                    "pid": _WALL_PID,
+                    "tid": tid_of(event["thread"]),
+                    "ts": event["wall_start"] * _US,
+                    "dur": event["wall_dur"] * _US,
+                }
+            )
+        elif etype == "iteration":
+            ts = event["sim_start"] * _US
+            last_iter_ts = ts
+            out.append(
+                {
+                    "ph": "X",
+                    "pid": _SIM_PID,
+                    "tid": 0,
+                    "ts": ts,
+                    "dur": event["sim_seconds"] * _US,
+                    "name": f"iter {event['iteration']} [{event['model']}]",
+                    "cat": "iteration",
+                    "args": {
+                        "frontier_size": event["frontier_size"],
+                        "edges_processed": event["edges_processed"],
+                        "activated": event["activated"],
+                        "io": event["io"],
+                    },
+                }
+            )
+            out.append(
+                {
+                    "ph": "C",
+                    "pid": _SIM_PID,
+                    "tid": 0,
+                    "ts": ts,
+                    "name": "frontier",
+                    "args": {"active": event["frontier_size"]},
+                }
+            )
+            io = event.get("io") or {}
+            out.append(
+                {
+                    "ph": "C",
+                    "pid": _SIM_PID,
+                    "tid": 0,
+                    "ts": ts,
+                    "name": "io_bytes",
+                    "args": {
+                        "seq_read": io.get("bytes_read_seq", 0),
+                        "ran_read": io.get("bytes_read_ran", 0),
+                        "written": io.get("bytes_written_seq", 0)
+                        + io.get("bytes_written_ran", 0),
+                    },
+                }
+            )
+        elif etype == "audit":
+            out.append(
+                {
+                    "ph": "i",
+                    "pid": _SIM_PID,
+                    "tid": 0,
+                    "ts": last_iter_ts,
+                    "s": "g",
+                    "name": f"decision iter {event['iteration']}: {event['chosen']}",
+                    "cat": "audit",
+                    "args": {
+                        "c_full": event["c_full"],
+                        "c_on_demand": event["c_on_demand"],
+                        "predicted_seconds": event["predicted_seconds"],
+                        "actual_sim_seconds": event["actual_sim_seconds"],
+                    },
+                }
+            )
+        # "metrics" and "run" carry aggregates with no timeline placement.
+
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": meta,
+    }
+
+
+def export_file(trace_path: str, out_path: str) -> int:
+    """Validate ``trace_path`` and write its trace_event JSON.
+
+    Returns the number of trace events written.
+    """
+    events = validate_trace_file(trace_path)
+    chrome = to_chrome_trace(events)
+    # charged-io-ok: host-side trace export, not simulated graph I/O
+    with open(out_path, "w") as f:
+        json.dump(chrome, f)
+    return len(chrome["traceEvents"])

@@ -1,0 +1,126 @@
+"""Metrics registry: counters, gauges, and power-of-two histograms.
+
+The registry is deliberately tiny — three instrument kinds, one lock —
+because its values must stay *deterministic*: every number recorded here
+derives from simulated state (byte counts, frontier sizes, buffer
+occupancy), never from the wall clock. The thread-safety matters: the
+prefetch pipeline's background worker charges disk reads (and therefore
+observes read-size histograms) concurrently with the consuming engine
+thread.
+
+Histograms use sparse base-2 exponential buckets: an observation ``v``
+lands in the bucket whose upper bound is the smallest power of two
+``>= v`` (non-positive values land in the ``"0"`` bucket). That covers
+byte sizes (KiB..GiB) and densities (fractions of 1) with one scheme and
+no per-histogram configuration, and serializes compactly.
+
+Disabled engines hold :data:`NULL_METRICS`, whose methods are no-ops.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Union
+
+Number = Union[int, float]
+
+
+class Histogram:
+    """Sparse power-of-two histogram with count/sum/min/max."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total: float = 0.0
+        self.min: float = math.inf
+        self.max: float = -math.inf
+        #: exponent ``e`` -> observations with ``2**(e-1) < v <= 2**e``.
+        self.buckets: Dict[str, int] = {}
+
+    @staticmethod
+    def bucket_of(value: Number) -> str:
+        if value <= 0:
+            return "0"
+        return str(math.ceil(math.log2(value)))
+
+    def observe(self, value: Number) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        self.min = min(self.min, v)
+        self.max = max(self.max, v)
+        key = self.bucket_of(v)
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "buckets": dict(sorted(self.buckets.items(), key=lambda kv: _bucket_sort(kv[0]))),
+        }
+
+
+def _bucket_sort(key: str) -> float:
+    return -math.inf if key == "0" else float(key)
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms behind one lock."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}  # guarded-by: _lock
+        self._gauges: Dict[str, float] = {}  # guarded-by: _lock
+        self._hists: Dict[str, Histogram] = {}  # guarded-by: _lock
+
+    def inc(self, name: str, by: Number = 1) -> None:
+        """Add ``by`` to the counter ``name`` (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        """Set the gauge ``name`` to its latest value."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: Number) -> None:
+        """Record one observation into the histogram ``name``."""
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                hist = self._hists[name] = Histogram()
+            hist.observe(value)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Cumulative state of every instrument (JSON-serializable)."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {k: h.to_dict() for k, h in self._hists.items()},
+            }
+
+
+class NullMetrics:
+    """No-op registry held by engines when tracing is disabled."""
+
+    enabled = False
+
+    def inc(self, name: str, by: Number = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        pass
+
+    def observe(self, name: str, value: Number) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_METRICS = NullMetrics()

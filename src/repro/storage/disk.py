@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.obs.metrics import MetricsRegistry
 from repro.storage.iostats import IOStats
 from repro.utils.timers import IO_READ, IO_WRITE, SimClock
 from repro.utils.validation import check_nonneg, check_positive
@@ -178,6 +179,10 @@ class SimulatedDisk:
         #: Optional :class:`~repro.storage.faults.FaultInjector`; every
         #: ArrayFile operation and engine crash point polls it when set.
         self.injector = injector
+        #: Optional observability registry (attached by a traced engine
+        #: run, detached when the run ends): every charge reports its
+        #: transfer size into per-access-class histograms.
+        self.metrics: Optional[MetricsRegistry] = None
 
     # -- reads -------------------------------------------------------------
 
@@ -187,6 +192,8 @@ class SimulatedDisk:
         self.stats.bytes_read_seq += nbytes
         self.stats.read_requests_seq += requests
         self.clock.charge(IO_READ, self.profile.seq_read_time(nbytes, requests))
+        if self.metrics is not None:
+            self.metrics.observe("disk.read_seq_bytes", nbytes)
 
     def charge_read_random(self, nbytes: int, requests: int = 1) -> None:
         check_nonneg(nbytes, "nbytes")
@@ -194,6 +201,8 @@ class SimulatedDisk:
         self.stats.bytes_read_ran += nbytes
         self.stats.read_requests_ran += requests
         self.clock.charge(IO_READ, self.profile.ran_read_time(nbytes, requests))
+        if self.metrics is not None:
+            self.metrics.observe("disk.read_ran_bytes", nbytes)
 
     # -- writes ------------------------------------------------------------
 
@@ -203,6 +212,8 @@ class SimulatedDisk:
         self.stats.bytes_written_seq += nbytes
         self.stats.write_requests_seq += requests
         self.clock.charge(IO_WRITE, self.profile.seq_write_time(nbytes, requests))
+        if self.metrics is not None:
+            self.metrics.observe("disk.write_seq_bytes", nbytes)
 
     def charge_write_random(self, nbytes: int, requests: int = 1) -> None:
         check_nonneg(nbytes, "nbytes")
@@ -210,6 +221,8 @@ class SimulatedDisk:
         self.stats.bytes_written_ran += nbytes
         self.stats.write_requests_ran += requests
         self.clock.charge(IO_WRITE, self.profile.ran_write_time(nbytes, requests))
+        if self.metrics is not None:
+            self.metrics.observe("disk.write_ran_bytes", nbytes)
 
     # -- cache accounting (used by the sub-block buffer, §4.3) --------------
 

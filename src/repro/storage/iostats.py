@@ -8,6 +8,12 @@ class, plus request counts and buffer-cache hit accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import Dict, Tuple
+
+#: Counters whose value depends on real thread timing rather than the
+#: simulated execution. Equivalence comparisons (traced vs untraced,
+#: pipelined vs serial) must ignore exactly these fields.
+WALL_CLOCK_DEPENDENT_FIELDS: Tuple[str, ...] = ("prefetch_hits",)
 
 
 @dataclass
@@ -83,6 +89,10 @@ class IOStats:
     def snapshot(self) -> "IOStats":
         """An independent copy of the current counters."""
         return IOStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def to_dict(self) -> Dict[str, int]:
+        """Every raw counter by field name (stable JSON form)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def __sub__(self, other: "IOStats") -> "IOStats":
         return IOStats(

@@ -38,10 +38,14 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Callable, Iterator, Optional, Sequence, TypeVar
+from typing import TYPE_CHECKING, Callable, Iterator, Optional, Sequence, TypeVar
 
+from repro.obs.trace import NULL_TRACER
 from repro.storage.iostats import IOStats
 from repro.utils.validation import check_nonneg
+
+if TYPE_CHECKING:
+    from repro.obs import TracerLike
 
 _T = TypeVar("_T")
 
@@ -70,11 +74,19 @@ class BlockPrefetcher:
     in :class:`IOStats`.
     """
 
-    def __init__(self, depth: int, stats: Optional[IOStats] = None) -> None:
+    def __init__(
+        self,
+        depth: int,
+        stats: Optional[IOStats] = None,
+        tracer: "Optional[TracerLike]" = None,
+    ) -> None:
         check_nonneg(depth, "depth")
         self.depth = int(depth)
         self._stats_lock = threading.Lock()
         self.stats = stats  # guarded-by: _stats_lock
+        #: Observability hook: each task execution (inline or on the
+        #: worker thread) is bracketed in a ``prefetch.load`` span.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.cancelled = threading.Event()
 
     def _bump(self, counter: str, by: int = 1) -> None:
@@ -115,23 +127,30 @@ class BlockPrefetcher:
         return self._run_threaded(tasks)
 
     def _run_inline(self, tasks: Sequence[Callable[[], _T]]) -> Iterator[_T]:
-        for task in tasks:
-            yield task()
+        for index, task in enumerate(tasks):
+            with self.tracer.span("prefetch.load", cat="prefetch", index=index):
+                result = task()
+            self.tracer.metrics.inc("prefetch.loads")
+            yield result
 
     def _run_threaded(self, tasks: Sequence[Callable[[], _T]]) -> Iterator[_T]:
         q: "queue.Queue" = queue.Queue(maxsize=self.depth)
 
         def worker() -> None:
-            for task in tasks:
+            for index, task in enumerate(tasks):
                 if self.cancelled.is_set():
                     return
                 try:
-                    result = task()
+                    with self.tracer.span(
+                        "prefetch.load", cat="prefetch", index=index
+                    ):
+                        result = task()
                 except _Cancelled:
                     return
                 except BaseException as exc:  # delivered, not swallowed
                     self._put(q, ("error", exc))
                     return
+                self.tracer.metrics.inc("prefetch.loads")
                 self._bump("prefetch_issued")
                 if not self._put(q, ("ok", result)):
                     # Cancelled with this result undelivered: the work

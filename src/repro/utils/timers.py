@@ -36,7 +36,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, TypeVar
+from typing import Callable, Dict, Optional, Tuple, TypeVar
 
 from repro.utils.validation import check_nonneg
 
@@ -99,6 +99,14 @@ class TimeBreakdown:
     @property
     def scheduling(self) -> float:
         return self.components.get(SCHEDULING, 0.0)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable JSON form: components, overlap saving, and net total."""
+        return {
+            "components": dict(self.components),
+            "overlap_saved": self.overlap_saved,
+            "total": self.total,
+        }
 
     def __sub__(self, other: "TimeBreakdown") -> "TimeBreakdown":
         keys = set(self.components) | set(other.components)
@@ -234,6 +242,23 @@ class SimClock:
         """Cumulative simulated time hidden by I/O–compute overlap."""
         with self._lock:
             return self._overlap_saved
+
+    def resource_snapshot(self) -> "Tuple[float, float, float]":
+        """``(total, disk, cpu)`` simulated seconds under one lock hold.
+
+        One consistent read for the tracer: sampling total and the two
+        resource timelines in separate lock acquisitions could tear
+        against a concurrent prefetch-worker charge.
+        """
+        with self._lock:
+            disk = 0.0
+            cpu = 0.0
+            for component, seconds in self._components.items():
+                if RESOURCE_OF.get(component, CPU) == DISK:
+                    disk += seconds
+                else:
+                    cpu += seconds
+            return (disk + cpu - self._overlap_saved, disk, cpu)
 
     # -- overlap regions ---------------------------------------------------
 

@@ -62,6 +62,17 @@ def test_determinism_suppressed_with_sim_ok():
     assert check_text(src, "core/engine.py", [SimDeterminismChecker]) == []
 
 
+def test_determinism_obs_may_read_wall_clock_but_not_randomness():
+    """obs/ records both timelines (docs/OBSERVABILITY.md): time and
+    datetime are allowed there, randomness is still forbidden."""
+    wall = "import time\nfrom datetime import datetime\n"
+    assert check_text(wall, "obs/trace.py", [SimDeterminismChecker]) == []
+    rand = "import random\n"
+    assert rules(check_text(rand, "obs/trace.py", [SimDeterminismChecker])) == ["GSD101"]
+    npr = "import numpy as np\nrng = np.random.default_rng()\n"
+    assert rules(check_text(npr, "obs/metrics.py", [SimDeterminismChecker])) == ["GSD101"]
+
+
 # -- GSD102: charged I/O ------------------------------------------------------
 
 

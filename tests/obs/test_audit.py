@@ -1,0 +1,105 @@
+"""Scheduler-decision audit: open/close protocol and error math."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.obs import DecisionRecord, SchedulerAudit
+
+
+@dataclass
+class FakeChoice:
+    value: str
+
+
+@dataclass
+class FakeEstimate:
+    """Duck-typed stand-in for repro.core.scheduler.CostEstimate."""
+
+    active_vertices: int = 10
+    active_edges: int = 50
+    c_full: float = 1.0
+    c_on_demand: float = 0.25
+    s_seq_bytes: int = 4096
+    s_ran_bytes: int = 512
+    index_bytes: int = 64
+    chosen: FakeChoice = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.chosen is None:
+            self.chosen = FakeChoice("on_demand")
+
+
+def test_open_then_close_fills_actuals():
+    audit = SchedulerAudit()
+    audit.open(1, FakeEstimate())
+    audit.close(actual_sim_seconds=0.2, actual_io_seconds=0.15, actual_model="sciu")
+    (rec,) = audit.closed_records
+    assert rec.iteration == 1
+    assert rec.chosen == "on_demand"
+    assert rec.predicted_seconds == 0.25
+    assert rec.actual_sim_seconds == 0.2
+    assert rec.actual_model == "sciu"
+    assert rec.closed
+
+
+def test_errors_compare_prediction_to_actual():
+    rec = DecisionRecord(
+        iteration=1, chosen="full", c_full=1.0, c_on_demand=2.0,
+        active_vertices=1, active_edges=1,
+        s_seq_bytes=0, s_ran_bytes=0, index_bytes=0,
+        actual_sim_seconds=1.25, actual_io_seconds=1.0, actual_model="fciu",
+    )
+    assert rec.predicted_seconds == 1.0
+    assert rec.abs_error == pytest.approx(0.25)
+    # Relative to the *prediction*: |actual - predicted| / predicted.
+    assert rec.rel_error == pytest.approx(0.25)
+
+
+def test_unclosed_record_has_no_error():
+    rec = DecisionRecord(
+        iteration=1, chosen="full", c_full=1.0, c_on_demand=2.0,
+        active_vertices=1, active_edges=1,
+        s_seq_bytes=0, s_ran_bytes=0, index_bytes=0,
+    )
+    assert not rec.closed
+    assert rec.abs_error is None
+    assert rec.rel_error is None
+
+
+def test_stale_pending_decision_is_flushed_on_next_open():
+    emitted = []
+    audit = SchedulerAudit(emit=emitted.append)
+    audit.open(1, FakeEstimate())
+    audit.open(2, FakeEstimate())  # first decision never ran
+    audit.close(actual_sim_seconds=0.1, actual_io_seconds=0.1, actual_model="sciu")
+    assert len(emitted) == 2
+    assert emitted[0]["iteration"] == 1
+    assert emitted[0]["actual_sim_seconds"] is None
+    assert emitted[1]["iteration"] == 2
+    assert emitted[1]["actual_sim_seconds"] == 0.1
+
+
+def test_flip_points_report_model_changes():
+    audit = SchedulerAudit()
+    for it, model in [(1, "on_demand"), (2, "full"), (3, "full"), (4, "on_demand")]:
+        audit.open(it, FakeEstimate(chosen=FakeChoice(model)))
+        audit.close(actual_sim_seconds=0.1, actual_io_seconds=0.1, actual_model=model)
+    assert audit.flip_points() == [2, 4]
+
+
+def test_to_event_is_a_schema_audit_event():
+    rec = DecisionRecord(
+        iteration=3, chosen="on_demand", c_full=1.0, c_on_demand=0.5,
+        active_vertices=7, active_edges=21,
+        s_seq_bytes=100, s_ran_bytes=10, index_bytes=1,
+        actual_sim_seconds=0.4, actual_io_seconds=0.3, actual_model="sciu",
+    )
+    event = rec.to_event()
+    assert event["type"] == "audit"
+    assert event["iteration"] == 3
+    assert event["chosen"] == "on_demand"
+    assert event["c_full"] == 1.0
+    assert event["c_on_demand"] == 0.5
+    assert event["actual_model"] == "sciu"
+    assert event["rel_error"] == pytest.approx(0.2)

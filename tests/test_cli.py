@@ -275,3 +275,123 @@ def test_lint_default_scope_is_the_package(capsys):
     rc = main(["lint"])
     assert rc == 0
     assert "file(s) checked" in capsys.readouterr().out
+
+
+# -- observability surface (docs/OBSERVABILITY.md) ---------------------------
+
+
+def test_run_trace_path_writes_valid_jsonl(tmp_path, capsys):
+    trace = tmp_path / "run.trace.jsonl"
+    rc = main(
+        [
+            "run",
+            "--dataset",
+            "twitter2010",
+            "--algorithm",
+            "bfs",
+            "-P",
+            "4",
+            "--trace",
+            str(trace),
+        ]
+    )
+    assert rc == 0
+    assert f"wrote {trace}" in capsys.readouterr().out
+    from repro.obs import validate_trace_file
+
+    events = validate_trace_file(str(trace))
+    assert any(e["type"] == "audit" for e in events)
+    assert any(e["type"] == "run" for e in events)
+
+
+def test_run_stats_json_is_machine_readable(capsys):
+    rc = main(
+        [
+            "run",
+            "--dataset",
+            "twitter2010",
+            "--algorithm",
+            "bfs",
+            "-P",
+            "4",
+            "--stats",
+            "json",
+        ]
+    )
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["engine"] == "graphsd"
+    assert payload["converged"] is True
+    assert payload["io"]["bytes_read_seq"] > 0
+    assert len(payload["per_iteration"]) == payload["iterations"]
+    assert payload["values_sha256"]
+
+
+def test_trace_report_prints_prediction_error(tmp_path, capsys):
+    trace = tmp_path / "r.trace.jsonl"
+    assert (
+        main(
+            [
+                "run",
+                "--dataset",
+                "twitter2010",
+                "--algorithm",
+                "bfs",
+                "-P",
+                "4",
+                "--trace",
+                str(trace),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    rc = main(["trace", "report", str(trace)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "scheduler decisions" in out
+    assert "prediction error" in out
+    assert "mean_rel" in out
+
+
+def test_trace_export_produces_perfetto_json(tmp_path, capsys):
+    trace = tmp_path / "e.trace.jsonl"
+    chrome = tmp_path / "e.chrome.json"
+    assert (
+        main(
+            [
+                "run",
+                "--dataset",
+                "twitter2010",
+                "--algorithm",
+                "bfs",
+                "-P",
+                "4",
+                "--trace",
+                str(trace),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    rc = main(["trace", "export", str(trace), "--out", str(chrome)])
+    assert rc == 0
+    doc = json.loads(chrome.read_text())
+    assert doc["traceEvents"]
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+def test_trace_report_on_missing_file_is_operational_error(tmp_path, capsys):
+    rc = main(["trace", "report", str(tmp_path / "absent.jsonl")])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "Traceback" not in err
+
+
+def test_trace_report_on_invalid_file_is_operational_error(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"type": "mystery"}\n')
+    rc = main(["trace", "report", str(bad)])
+    assert rc == 2
+    assert capsys.readouterr().err.startswith("error:")
