@@ -4,7 +4,7 @@ Simulated execution must be a pure function of inputs and seeds: PR 2's
 pipelined==serial bit-identical guarantee (and every recorded benchmark)
 dies the moment an engine path consults wall-clock time or unseeded
 randomness. Inside the engine directories (``core/``, ``graph/``,
-``storage/``, ``algorithms/``) this rule forbids:
+``storage/``, ``algorithms/``, ``cluster/``) this rule forbids:
 
 * importing ``time``, ``datetime`` or ``random`` at all — modeled time
   comes from :class:`repro.utils.timers.SimClock`, randomness from
@@ -42,7 +42,7 @@ class SimDeterminismChecker(Checker):
     rule_id = "GSD101"
     title = "sim paths must not touch wall-clock time or ad-hoc randomness"
     suppress_marker = "sim-ok"
-    scope_dirs = ("core", "graph", "storage", "algorithms", "obs")
+    scope_dirs = ("core", "graph", "storage", "algorithms", "obs", "cluster")
 
     def visit(self, sf: SourceFile) -> None:
         in_obs = sf.rel.split("/", 1)[0] == "obs"

@@ -44,7 +44,7 @@ class DtypeSafetyChecker(Checker):
     rule_id = "GSD104"
     title = "hot-path numpy allocations must pin an explicit dtype"
     suppress_marker = "dtype-ok"
-    scope_dirs = ("core", "graph", "storage", "algorithms")
+    scope_dirs = ("core", "graph", "storage", "algorithms", "cluster")
 
     def visit(self, sf: SourceFile) -> None:
         numpy_aliases: Set[str] = {

@@ -42,7 +42,13 @@ from repro.graph import (
 )
 from repro.graph.grid import ENCODINGS, ENCODING_RAW
 from repro.graph.degree import out_degrees
-from repro.storage import Device, MachineProfile, SimulatedDisk, DEFAULT_MACHINE
+from repro.storage import (
+    DEFAULT_MACHINE,
+    Device,
+    FaultPlan,
+    MachineProfile,
+    SimulatedDisk,
+)
 from repro.utils.validation import require
 
 
@@ -197,6 +203,7 @@ class Harness:
         self._contexts: Dict[Tuple, GraphContext] = {}
         self._reference_cache: Dict[Tuple, np.ndarray] = {}
         self._run_cache: Dict[Tuple[str, str, str, bool, int], RunResult] = {}
+        self._cluster_runs = 0
 
     # -- inputs --------------------------------------------------------
 
@@ -318,6 +325,63 @@ class Harness:
             self.check_against_reference(result, workload, dataset)
         if use_cache:
             self._run_cache[key] = result
+        return result
+
+    def run_cluster(
+        self,
+        workload_key: str,
+        dataset: str,
+        workers: int,
+        interconnect: str = "eth10",
+        fault_plan: Optional[FaultPlan] = None,
+        worker_disk_factors: Optional[Dict[int, float]] = None,
+        straggler_factor: Optional[float] = 3.0,
+        max_iterations: Optional[int] = None,
+        trace_path: Optional[str] = None,
+    ) -> RunResult:
+        """Execute one workload on the simulated N-worker cluster.
+
+        Reuses the cached graphsd grid representation; each invocation
+        gets a fresh scratch directory (worker value slices and
+        checkpoints are per-run state). Cluster runs are not memoized —
+        their point is usually a distinct fault schedule per call.
+        """
+        from repro.cluster import ClusterConfig, ClusterEngine, INTERCONNECT_PROFILES
+
+        require(
+            interconnect in INTERCONNECT_PROFILES,
+            f"unknown interconnect profile {interconnect!r} "
+            f"(choose from {sorted(INTERCONNECT_PROFILES)})",
+        )
+        workload = WORKLOADS[workload_key]
+        store, prep = self.preprocess("graphsd", dataset, workload)
+        ctx = prep.context if prep.out_degrees is not None else self.context_for(
+            dataset, workload
+        )
+        self._cluster_runs += 1
+        scratch = (
+            self.workspace
+            / "cluster"
+            / f"{workload_key}-{dataset}-n{workers}-{self._cluster_runs}"
+        )
+        config = ClusterConfig(
+            workers=workers,
+            interconnect=INTERCONNECT_PROFILES[interconnect],
+            machine=self.machine,
+            worker_disk_factors=dict(worker_disk_factors or {}),
+            fault_plan=fault_plan,
+            straggler_factor=straggler_factor,
+        )
+        engine = ClusterEngine(
+            store.device.root, store.prefix, scratch, config, ctx=ctx
+        )
+        if trace_path is not None:
+            from repro.obs import Tracer
+
+            engine.attach_tracer(Tracer(), path=trace_path)
+        result = engine.run(workload.make_program(), max_iterations=max_iterations)
+        if self.verify:
+            self.check_against_reference(result, workload, dataset)
         return result
 
     def check_against_reference(

@@ -45,6 +45,7 @@ from repro.bench import (
 )
 from repro.bench.overlap import run_overlap_benchmark
 from repro.bench.reporting import format_table
+from repro.cluster import INTERCONNECT_PROFILES
 from repro.core import DEFAULT_PREFETCH_DEPTH
 from repro.datasets import list_datasets, load_dataset, table3_rows
 from repro.graph import preprocess_graphsd, preprocess_husgraph, preprocess_lumos
@@ -97,9 +98,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     trace_path = args.trace if isinstance(args.trace, str) else None
     try:
-        result = harness.run(
-            args.system, args.algorithm, args.dataset, trace_path=trace_path
-        )
+        if args.workers is not None:
+            if args.system != "graphsd":
+                print(
+                    "error: --workers requires --system graphsd (the cluster "
+                    "shards the graphsd grid representation)",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.pipeline:
+                print(
+                    "error: --workers and --pipeline are mutually exclusive "
+                    "(cluster workers overlap via sharding, not prefetch)",
+                    file=sys.stderr,
+                )
+                return 2
+            result = harness.run_cluster(
+                args.algorithm,
+                args.dataset,
+                workers=args.workers,
+                interconnect=args.interconnect,
+                trace_path=trace_path,
+            )
+        else:
+            result = harness.run(
+                args.system, args.algorithm, args.dataset, trace_path=trace_path
+            )
     finally:
         if args.workspace is None:
             harness.cleanup()
@@ -155,6 +179,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "prefetch_hits": result.prefetch_hits,
             "prefetch_wasted": result.prefetch_wasted,
             "buffer_hit_bytes": result.buffer_hit_bytes,
+            "recovery": dict(result.recovery),
         }
         # charged-io-ok: host-side result file, not simulated graph I/O
         with open(args.json, "w") as f:
@@ -333,6 +358,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=ENCODING_RAW,
         choices=list(ENCODINGS),
         help="sub-block layout used for graphsd-representation systems",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the run across N simulated cluster workers with "
+        "crash recovery and straggler degradation (see docs/CLUSTER.md); "
+        "results are bit-identical for any N",
+    )
+    p.add_argument(
+        "--interconnect",
+        default="eth10",
+        choices=sorted(INTERCONNECT_PROFILES),
+        help="modeled worker-to-worker fabric for --workers runs",
     )
     p.set_defaults(func=_cmd_run)
 

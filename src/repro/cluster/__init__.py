@@ -1,0 +1,72 @@
+"""Fault-tolerant sharded multi-worker execution (simulated cluster).
+
+The P×P grid is sharded by destination column across N simulated
+workers, each with its own modeled disk, clock, and fault plan,
+exchanging value/frontier messages over a modeled interconnect. The
+package's point is robustness, demonstrated deterministically:
+
+* per-superstep consistent cuts (checkpoint + message watermarks) with
+  crash recovery by rollback + peer log replay, bit-identical to a
+  failure-free run;
+* message drop/duplication/corruption absorbed by sequence-numbered,
+  CRC-checked, idempotent delivery with bounded seeded-backoff retry;
+* straggler detection with graceful degradation onto N−1 workers.
+
+See ``docs/CLUSTER.md`` for the protocol walkthrough.
+"""
+
+from repro.cluster.coordinator import (
+    ClusterConfig,
+    ClusterEngine,
+    interconnect_fault_plan,
+    worker_fault_plan,
+)
+from repro.cluster.interconnect import (
+    DEFAULT_INTERCONNECT,
+    ETH1_PROFILE,
+    ETH10_PROFILE,
+    IB_PROFILE,
+    INTERCONNECT_PROFILES,
+    Interconnect,
+    InterconnectProfile,
+    NetworkError,
+    channel_name,
+)
+from repro.cluster.membership import ColumnAssignment, Membership, partition_columns
+from repro.cluster.messages import (
+    ACCEPTED,
+    CORRUPT,
+    DUPLICATE,
+    Inbox,
+    ValueMessage,
+    apply_messages,
+    message_seq,
+)
+from repro.cluster.worker import ClusterWorker
+
+__all__ = [
+    "ACCEPTED",
+    "CORRUPT",
+    "DUPLICATE",
+    "DEFAULT_INTERCONNECT",
+    "ETH10_PROFILE",
+    "ETH1_PROFILE",
+    "IB_PROFILE",
+    "INTERCONNECT_PROFILES",
+    "ClusterConfig",
+    "ClusterEngine",
+    "ClusterWorker",
+    "ColumnAssignment",
+    "Inbox",
+    "Interconnect",
+    "InterconnectProfile",
+    "Membership",
+    "NetworkError",
+    "ValueMessage",
+    "apply_messages",
+    "channel_name",
+    "interconnect_fault_plan",
+    "message_seq",
+    "partition_columns",
+    "worker_fault_plan",
+]

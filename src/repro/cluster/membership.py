@@ -1,0 +1,106 @@
+"""Column-interval ownership and worker liveness.
+
+The cluster shards the P×P grid by *destination column* (the DFOGraph
+direction): worker ``w`` owns a set of destination intervals and is the
+authority for those vertices' values. Ownership starts as a contiguous
+split of ``0..P-1`` and is *deterministically* reassigned when a worker
+is declared dead — the dead worker's columns are dealt round-robin over
+the sorted survivors, so every run (and every replay of a failure
+schedule) produces the same ownership history.
+
+Correctness does not depend on who owns a column: a column's
+accumulation order is fixed (source intervals ascending), so moving a
+column between workers never changes a bit of the result — ownership
+only decides which worker reads the column's blocks, applies its
+updates, and checkpoints its slice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.utils.validation import require
+
+
+def partition_columns(P: int, workers: int) -> List[List[int]]:
+    """Contiguous split of destination columns ``0..P-1`` over workers.
+
+    The first ``P % workers`` workers get one extra column, mirroring
+    the interval partitioner's balanced-prefix convention.
+    """
+    require(workers >= 1, f"workers must be >= 1, got {workers}")
+    require(
+        workers <= P,
+        f"cannot shard {P} columns across {workers} workers (workers > P)",
+    )
+    base, extra = divmod(P, workers)
+    out: List[List[int]] = []
+    start = 0
+    for w in range(workers):
+        n = base + (1 if w < extra else 0)
+        out.append(list(range(start, start + n)))
+        start += n
+    return out
+
+
+class ColumnAssignment:
+    """Mutable column → worker ownership map with deterministic failover."""
+
+    def __init__(self, P: int, workers: int) -> None:
+        self.P = P
+        self.workers = workers
+        self._owner: Dict[int, int] = {}
+        for w, cols in enumerate(partition_columns(P, workers)):
+            for j in cols:
+                self._owner[j] = w
+
+    def owner_of(self, j: int) -> int:
+        require(j in self._owner, f"column {j} is not assigned")
+        return self._owner[j]
+
+    def columns_of(self, w: int) -> List[int]:
+        return sorted(j for j, owner in self._owner.items() if owner == w)
+
+    def reassign(self, dead: int, survivors: Sequence[int]) -> Dict[int, List[int]]:
+        """Deal ``dead``'s columns round-robin over sorted ``survivors``.
+
+        Returns ``{survivor: adopted columns}`` (only survivors that
+        adopted at least one column appear). Deterministic: columns and
+        survivors are both processed in ascending order.
+        """
+        pool = sorted(s for s in survivors if s != dead)
+        require(pool, "cannot reassign columns with no survivors")
+        orphans = self.columns_of(dead)
+        adopted: Dict[int, List[int]] = {}
+        for k, j in enumerate(orphans):
+            heir = pool[k % len(pool)]
+            self._owner[j] = heir
+            adopted.setdefault(heir, []).append(j)
+        return adopted
+
+
+class Membership:
+    """The live-worker set and its death record."""
+
+    def __init__(self, workers: int) -> None:
+        require(workers >= 1, f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._live = set(range(workers))
+        #: Workers declared dead, in declaration order.
+        self.deaths: List[int] = []
+
+    @property
+    def live(self) -> List[int]:
+        return sorted(self._live)
+
+    def is_live(self, w: int) -> bool:
+        return w in self._live
+
+    def declare_dead(self, w: int) -> None:
+        require(w in self._live, f"worker {w} is not live")
+        require(
+            len(self._live) > 1,
+            f"cannot declare worker {w} dead: it is the last live worker",
+        )
+        self._live.remove(w)
+        self.deaths.append(w)

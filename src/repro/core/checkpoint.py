@@ -65,6 +65,18 @@ MASK_DTYPE = np.uint8
 SLOTS = 2
 
 
+class CheckpointCorruptError(ValueError):
+    """Every on-disk checkpoint generation failed validation.
+
+    Raised by :meth:`CheckpointManager.load_meta` when sidecars exist but
+    none of their array files pass the size/CRC checks — i.e. both slots
+    of the double buffer are damaged and resume is impossible. The
+    message names the checkpoint, the failed generation numbers, and the
+    graph fingerprint so operators can tell *which* run's state died
+    without decoding a low-level checksum traceback.
+    """
+
+
 @dataclass
 class CheckpointMeta:
     """The JSON sidecar describing one checkpoint generation."""
@@ -258,6 +270,25 @@ class CheckpointManager:
     ) -> CheckpointMeta:
         """Select, validate (including CRCs) and pin the restore source."""
         meta = self._select(check_crc=True)
+        if meta is None:
+            candidates = [m for s in range(SLOTS) if (m := self._slot_meta(s))]
+            if candidates:
+                gens = ", ".join(
+                    str(m.generation)
+                    for m in sorted(candidates, key=lambda m: m.generation)
+                )
+                fps = {m.fingerprint for m in candidates if m.fingerprint}
+                fp_txt = (
+                    " for graph (vertices, edges, P) = " + ", ".join(str(f) for f in sorted(fps))
+                    if fps
+                    else ""
+                )
+                raise CheckpointCorruptError(
+                    f"checkpoint {self.base_name!r} is unrecoverable: "
+                    f"generation(s) {gens}{fp_txt} all failed validation "
+                    f"(missing, truncated, or corrupt array files); "
+                    f"restart the run from scratch"
+                )
         require(meta is not None, f"no valid checkpoint {self.base_name!r} on device")
         require(
             meta.program == expected_program,

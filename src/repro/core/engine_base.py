@@ -461,6 +461,7 @@ class EngineBase:
                     "io": result.io.to_dict(),
                     "wall_seconds": result.wall_seconds,
                     "fault_events": list(result.fault_events),
+                    "recovery": dict(result.recovery),
                 }
             )
             if self._trace_path is not None:

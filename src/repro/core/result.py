@@ -83,6 +83,11 @@ class RunResult:
     #: Faults the run absorbed (retry exhaustion fallbacks, degradations);
     #: empty on a clean run.
     fault_events: List[str] = field(default_factory=list)
+    #: Robustness counters (empty on a clean single-process run). Cluster
+    #: runs populate: ``net_retries``, ``net_backoff_seconds``,
+    #: ``msgs_dropped``, ``msgs_duplicated``, ``msgs_corrupted``,
+    #: ``worker_recoveries``, ``stragglers_degraded``.
+    recovery: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def sim_seconds(self) -> float:
@@ -150,13 +155,30 @@ class RunResult:
             if self.fault_events
             else ""
         )
+        recovery = ""
+        if self.recovery:
+            absorbed = sum(
+                int(self.recovery.get(k, 0))
+                for k in ("msgs_dropped", "msgs_duplicated", "msgs_corrupted")
+            )
+            bits = []
+            if self.recovery.get("net_retries"):
+                bits.append(f"net retries {self.recovery['net_retries']}")
+            if absorbed:
+                bits.append(f"msg faults absorbed {absorbed}")
+            if self.recovery.get("worker_recoveries"):
+                bits.append(f"worker recoveries {self.recovery['worker_recoveries']}")
+            if self.recovery.get("stragglers_degraded"):
+                bits.append(f"stragglers degraded {self.recovery['stragglers_degraded']}")
+            if bits:
+                recovery = ", " + ", ".join(bits)
         return (
             f"{self.engine}/{self.program}: {self.iterations} iters, "
             f"sim {self.sim_seconds:.3f}s (io {self.io_seconds:.3f}s, "
             f"compute {self.compute_seconds:.3f}s), {overlap}{prefetch}"
             f"traffic {self.io_traffic / (1 << 20):.1f} MiB, "
             f"{'converged' if self.converged else 'iteration cap reached'}"
-            f"{faults}"
+            f"{faults}{recovery}"
         )
 
     def values_sha256(self) -> str:
@@ -185,6 +207,7 @@ class RunResult:
             "io": self.io.to_dict(),
             "per_iteration": [r.to_dict() for r in self.per_iteration],
             "fault_events": list(self.fault_events),
+            "recovery": dict(self.recovery),
             "values_dtype": str(self.values.dtype),
             "values_sha256": self.values_sha256(),
         }

@@ -28,6 +28,12 @@ whose ``type`` selects its required fields:
 ``run``
     The closing summary with the run's exact totals: ``engine``,
     ``iterations``, ``converged``, ``sim_seconds``, ``sim``, ``io``.
+    Cluster runs may attach the optional ``recovery`` counter map and
+    ``workers`` count.
+``recovery``
+    One cluster recovery-audit action: ``worker``, ``event`` (e.g.
+    ``"rollback"``, ``"replay"``, ``"degrade"``), ``superstep``,
+    ``detail`` (free-form object).
 
 Validation here is structural (types and required keys), deliberately
 dependency-free — no jsonschema package — and strict about unknown event
@@ -101,6 +107,26 @@ _REQUIRED: Dict[str, Dict[str, tuple]] = {
         "sim": (dict,),
         "io": (dict,),
     },
+    "recovery": {
+        "worker": (int, str),
+        "event": (str,),
+        "superstep": (int,),
+        "detail": (dict,),
+    },
+}
+
+#: type -> {field: expected python types} for fields that MAY appear.
+#: Optional fields keep old traces valid (version 1 is unchanged) while
+#: still type-checking new producers — cluster runs attach ``recovery``
+#: counter maps and worker identity to existing event types.
+_OPTIONAL: Dict[str, Dict[str, tuple]] = {
+    "run": {
+        "recovery": (dict,),
+        "workers": (int,),
+    },
+    "iteration": {
+        "worker": (int, str),
+    },
 }
 
 
@@ -142,6 +168,19 @@ def validate_trace_lines(lines: Iterable[str]) -> List[Dict[str, Any]]:
                 _fail(lineno, f"{etype} event missing field {key!r}")
             value = event[key]
             # bool is an int subclass; reject it for numeric fields.
+            bad = (isinstance(value, bool) and bool not in types) or not isinstance(
+                value, types
+            )
+            if bad:
+                _fail(
+                    lineno,
+                    f"{etype}.{key} has type {type(value).__name__}, "
+                    f"expected one of {[t.__name__ for t in types]}",
+                )
+        for key, types in _OPTIONAL.get(etype, {}).items():
+            if key not in event:
+                continue
+            value = event[key]
             bad = (isinstance(value, bool) and bool not in types) or not isinstance(
                 value, types
             )

@@ -140,6 +140,9 @@ class NullTracer:
     def run_summary(self, payload: Dict[str, Any]) -> None:
         return None
 
+    def recovery(self, payload: Dict[str, Any]) -> None:
+        return None
+
     def audit_open(self, iteration: int, estimate: Any) -> None:
         return None
 
@@ -255,6 +258,16 @@ class Tracer:
     def run_summary(self, payload: Dict[str, Any]) -> None:
         """Emit the closing run record (exact run breakdown/IO totals)."""
         event = {"type": "run", "wall": self.now_wall()}
+        event.update(payload)
+        self._append(event)
+
+    def recovery(self, payload: Dict[str, Any]) -> None:
+        """Emit one cluster recovery-audit action (rollback/replay/degrade).
+
+        ``payload`` must carry the schema's required fields: ``worker``,
+        ``event``, ``superstep``, ``detail``.
+        """
+        event = {"type": "recovery", "wall": self.now_wall()}
         event.update(payload)
         self._append(event)
 

@@ -74,8 +74,24 @@ class SimulatedCrash(BaseException):
     """Injected process death at a named crash point or torn write."""
 
 
-#: Fault kinds a :class:`FaultSpec` may carry.
-FAULT_KINDS = ("transient-read", "transient-write", "torn-write", "bit-flip")
+#: Fault kinds a :class:`FaultSpec` may carry. The ``msg-*`` kinds target
+#: the cluster interconnect (see :mod:`repro.cluster.interconnect`): the
+#: ``pattern`` matches *channel names* (``"w{src}->w{dst}"``) instead of
+#: file names, and ``at_op`` counts send attempts on matching channels.
+FAULT_KINDS = (
+    "transient-read",
+    "transient-write",
+    "torn-write",
+    "bit-flip",
+    "msg-drop",
+    "msg-dup",
+    "msg-corrupt",
+)
+
+#: The subset of :data:`FAULT_KINDS` consumed by the interconnect, in the
+#: priority order applied when several are due on the same send attempt
+#: (a dropped message cannot also arrive corrupted or duplicated).
+MESSAGE_FAULT_KINDS = ("msg-drop", "msg-corrupt", "msg-dup")
 
 
 @dataclass(frozen=True)
@@ -175,6 +191,22 @@ class FaultInjector:
             return None
         self.events.append(f"torn-write:{name}")
         return spec.fraction
+
+    def fault_message(self, channel: str) -> Optional[str]:
+        """Poll for an interconnect fault on one send attempt on ``channel``.
+
+        Counts the attempt against every matching ``msg-*`` spec and
+        returns the due kind (:data:`MESSAGE_FAULT_KINDS` priority) or
+        ``None``. Retries are fresh attempts, so a ``count=1`` drop spec
+        perturbs exactly one transmission and the retry goes through.
+        """
+        due: Optional[str] = None
+        for kind in MESSAGE_FAULT_KINDS:
+            if self._due(kind, channel) is not None and due is None:
+                due = kind
+        if due is not None:
+            self.events.append(f"{due}:{channel}")
+        return due
 
     # -- crash points ----------------------------------------------------
 

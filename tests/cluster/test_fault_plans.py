@@ -1,0 +1,49 @@
+"""Fault-plan routing: worker-pinned crash points vs interconnect faults."""
+
+from repro.cluster.coordinator import interconnect_fault_plan, worker_fault_plan
+from repro.storage.faults import FaultPlan, FaultSpec
+
+
+def _plan():
+    return FaultPlan(
+        specs=(
+            FaultSpec(kind="msg-drop", pattern="w0->w2", at_op=4, count=2),
+            FaultSpec(kind="transient-read", pattern="*.blk", at_op=3),
+        ),
+        crash_points={"w1:post-compute": 2, "mid-checkpoint": 5},
+        seed=77,
+    )
+
+
+def test_worker_plan_unwraps_own_prefix_and_drops_others():
+    plan = worker_fault_plan(_plan(), wid=1)
+    assert plan is not None
+    assert plan.crash_points == {"post-compute": 2, "mid-checkpoint": 5}
+    # msg-* specs are the interconnect's business, disk faults stay
+    assert [s.kind for s in plan.specs] == ["transient-read"]
+    assert plan.seed == 77
+
+
+def test_unprefixed_crash_points_apply_to_every_worker():
+    for wid in (0, 2, 3):
+        plan = worker_fault_plan(_plan(), wid=wid)
+        assert plan is not None
+        assert plan.crash_points == {"mid-checkpoint": 5}
+
+
+def test_interconnect_plan_takes_only_message_faults():
+    plan = interconnect_fault_plan(_plan())
+    assert plan is not None
+    assert [s.kind for s in plan.specs] == ["msg-drop"]
+    assert plan.crash_points == {}
+    assert plan.seed == 77
+
+
+def test_empty_slices_collapse_to_none():
+    assert worker_fault_plan(None, 0) is None
+    assert interconnect_fault_plan(None) is None
+    msg_only = FaultPlan(specs=(FaultSpec(kind="msg-dup", pattern="*"),))
+    assert worker_fault_plan(msg_only, 0) is None
+    crash_only = FaultPlan(crash_points={"w3:pre-compute": 1})
+    assert worker_fault_plan(crash_only, 0) is None
+    assert interconnect_fault_plan(crash_only) is None

@@ -1,0 +1,94 @@
+"""Column ownership, deterministic failover, and worker liveness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.membership import ColumnAssignment, Membership, partition_columns
+
+
+@settings(max_examples=100, deadline=None)
+@given(P=st.integers(1, 32), workers=st.integers(1, 32))
+def test_partition_is_a_balanced_contiguous_cover(P, workers):
+    if workers > P:
+        with pytest.raises(ValueError, match="workers > P"):
+            partition_columns(P, workers)
+        return
+    parts = partition_columns(P, workers)
+    assert len(parts) == workers
+    flat = [j for cols in parts for j in cols]
+    assert flat == list(range(P))  # contiguous, complete, disjoint
+    sizes = [len(cols) for cols in parts]
+    assert max(sizes) - min(sizes) <= 1  # balanced-prefix convention
+
+
+def test_partition_rejects_zero_workers():
+    with pytest.raises(ValueError, match="workers must be >= 1"):
+        partition_columns(4, 0)
+
+
+def test_assignment_owner_and_columns_agree():
+    asg = ColumnAssignment(P=8, workers=3)
+    for w in range(3):
+        for j in asg.columns_of(w):
+            assert asg.owner_of(j) == w
+    assert sorted(j for w in range(3) for j in asg.columns_of(w)) == list(range(8))
+
+
+def test_reassign_deals_round_robin_over_sorted_survivors():
+    asg = ColumnAssignment(P=8, workers=4)
+    orphans = asg.columns_of(1)
+    adopted = asg.reassign(dead=1, survivors=[0, 2, 3])
+    assert sorted(j for cols in adopted.values() for j in cols) == orphans
+    for heir, cols in adopted.items():
+        assert heir != 1
+        for j in cols:
+            assert asg.owner_of(j) == heir
+    assert asg.columns_of(1) == []
+
+
+def test_reassign_is_deterministic():
+    """The same death against the same layout yields the same heirs —
+    the property that lets a failure schedule replay bit-identically."""
+    results = []
+    for _ in range(2):
+        asg = ColumnAssignment(P=7, workers=4)
+        results.append(asg.reassign(dead=2, survivors=[0, 1, 3]))
+    assert results[0] == results[1]
+
+
+def test_reassign_requires_survivors():
+    asg = ColumnAssignment(P=4, workers=2)
+    with pytest.raises(ValueError, match="no survivors"):
+        asg.reassign(dead=0, survivors=[0])
+
+
+@settings(max_examples=60, deadline=None)
+@given(P=st.integers(2, 16), workers=st.integers(2, 8), dead=st.integers(0, 7))
+def test_reassign_preserves_the_cover(P, workers, dead):
+    if workers > P:
+        return
+    dead = dead % workers
+    asg = ColumnAssignment(P, workers)
+    survivors = [w for w in range(workers) if w != dead]
+    asg.reassign(dead, survivors)
+    owned = sorted(j for w in survivors for j in asg.columns_of(w))
+    assert owned == list(range(P))
+
+
+def test_membership_tracks_deaths_in_order():
+    m = Membership(4)
+    assert m.live == [0, 1, 2, 3]
+    m.declare_dead(2)
+    m.declare_dead(0)
+    assert m.live == [1, 3]
+    assert m.deaths == [2, 0]
+    assert not m.is_live(2) and m.is_live(1)
+
+
+def test_membership_rejects_double_death_and_last_worker():
+    m = Membership(2)
+    m.declare_dead(0)
+    with pytest.raises(ValueError, match="not live"):
+        m.declare_dead(0)
+    with pytest.raises(ValueError, match="last live worker"):
+        m.declare_dead(1)

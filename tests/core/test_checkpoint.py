@@ -143,6 +143,51 @@ def test_manager_rejects_wrong_program(device):
         manager.load_meta("pagerank")
 
 
+def test_both_generations_corrupt_is_a_readable_error(device):
+    """Damage both slots of the double buffer: the failure must name the
+    checkpoint, the dead generations, and the graph fingerprint instead
+    of surfacing a checksum traceback."""
+    from repro.core.checkpoint import CheckpointCorruptError
+    from repro.utils.bitset import VertexSubset
+
+    manager = CheckpointManager(device, "dead")
+    for gen in (1, 2):
+        manager.write(
+            "cc",
+            gen,
+            VertexSubset(8),
+            {"value": np.full(8, float(gen))},
+            fingerprint=(8, 20, 4),
+        )
+    for path in device.root.glob("dead.*.ckpt"):
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0xFF
+        path.write_bytes(bytes(data))
+    fresh = CheckpointManager(device, "dead")
+    with pytest.raises(CheckpointCorruptError) as exc:
+        fresh.load_meta("cc")
+    message = str(exc.value)
+    assert "'dead'" in message
+    assert "1, 2" in message  # both generations are named
+    assert "(8, 20, 4)" in message  # ... and the graph they belonged to
+    assert "restart the run from scratch" in message
+
+
+def test_single_corrupt_generation_falls_back_to_the_other(device):
+    """One damaged slot is the tolerated case: restore uses the survivor."""
+    from repro.utils.bitset import VertexSubset
+
+    manager = CheckpointManager(device, "fb")
+    manager.write("cc", 1, VertexSubset(8), {"value": np.full(8, 1.0)})
+    manager.write("cc", 2, VertexSubset(8), {"value": np.full(8, 2.0)})
+    # generation 2 lives in slot 0; tear its state array
+    (slot0,) = device.root.glob("fb.state.value.s0.ckpt")
+    slot0.write_bytes(slot0.read_bytes()[:-8])
+    fresh = CheckpointManager(device, "fb")
+    assert fresh.load_meta("cc").generation == 1
+    assert np.array_equal(fresh.load_state("value", 8, np.float64), np.full(8, 1.0))
+
+
 def test_checkpoint_manager_sidecar_is_atomic(tmp_path, device):
     manager = CheckpointManager(device, "m")
     from repro.utils.bitset import VertexSubset

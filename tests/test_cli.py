@@ -200,6 +200,113 @@ def test_baselines_reject_pipeline_readably(capsys):
     assert "does not support --pipeline" in capsys.readouterr().err
 
 
+# -- cluster runs (--workers, docs/CLUSTER.md) -------------------------------
+
+
+def test_run_workers_shards_and_reports_recovery(tmp_path, capsys):
+    json_path = tmp_path / "cluster.json"
+    rc = main(
+        [
+            "run",
+            "--dataset",
+            "twitter2010",
+            "--algorithm",
+            "pr",
+            "--workers",
+            "2",
+            "-P",
+            "4",
+            "--verify",
+            "--json",
+            str(json_path),
+        ]
+    )
+    assert rc == 0
+    assert "worker" not in capsys.readouterr().err
+    payload = json.loads(json_path.read_text())
+    assert payload["engine"] == "cluster"
+    assert payload["recovery"]["workers"] == 2
+    assert payload["recovery"]["messages_sent"] > 0
+    assert all(m == "cluster" for m in payload["models"])
+
+
+def test_run_workers_stats_json_carries_recovery_counters(capsys):
+    rc = main(
+        [
+            "run",
+            "--dataset",
+            "twitter2010",
+            "--algorithm",
+            "pr",
+            "--workers",
+            "2",
+            "-P",
+            "4",
+            "--interconnect",
+            "eth1",
+            "--stats",
+            "json",
+        ]
+    )
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["engine"] == "cluster"
+    assert payload["recovery"]["workers_final"] == 2
+    assert payload["recovery"]["net_retries"] == 0
+
+
+def test_workers_require_the_graphsd_system(capsys):
+    rc = main(
+        [
+            "run",
+            "--dataset",
+            "twitter2010",
+            "--algorithm",
+            "pr",
+            "--system",
+            "gridgraph",
+            "--workers",
+            "2",
+        ]
+    )
+    assert rc == 2
+    assert "--workers requires --system graphsd" in capsys.readouterr().err
+
+
+def test_workers_and_pipeline_are_mutually_exclusive(capsys):
+    rc = main(
+        [
+            "run",
+            "--dataset",
+            "twitter2010",
+            "--algorithm",
+            "pr",
+            "--workers",
+            "2",
+            "--pipeline",
+        ]
+    )
+    assert rc == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_parser_rejects_unknown_interconnect():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            [
+                "run",
+                "--dataset",
+                "twitter2010",
+                "--algorithm",
+                "pr",
+                "--workers",
+                "2",
+                "--interconnect",
+                "carrier-pigeon",
+            ]
+        )
+
+
 # -- lint subcommand ---------------------------------------------------------
 
 

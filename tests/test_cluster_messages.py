@@ -1,0 +1,223 @@
+"""Property tests for the cluster message-sequence algebra.
+
+The crash-recovery protocol leans entirely on three algebraic facts
+about :mod:`repro.cluster.messages` (see the module docstring there):
+application is *idempotent under duplication*, *order-insensitive
+within a superstep*, and *replay after a rollback converges* to the
+failure-free state. These properties are what let the interconnect
+absorb drops/dups/corruption with blind retries and let peers replay
+whole outbound logs at a recovered worker without coordination.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.messages import (
+    ACCEPTED,
+    CORRUPT,
+    DUPLICATE,
+    Inbox,
+    ValueMessage,
+    apply_messages,
+    message_seq,
+)
+
+_values = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+@st.composite
+def superstep_messages(draw):
+    """One superstep's full broadcast: P interval-disjoint messages.
+
+    Returns ``(n, P, superstep, messages)`` where the messages cover
+    the vertex range ``[0, n)`` exactly once (the shape every worker's
+    absorb phase sees after a complete broadcast round).
+    """
+    P = draw(st.integers(min_value=2, max_value=5))
+    lengths = draw(
+        st.lists(st.integers(min_value=1, max_value=5), min_size=P, max_size=P)
+    )
+    bounds = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
+    n = int(bounds[-1])
+    superstep = draw(st.integers(min_value=0, max_value=3))
+    messages = []
+    for j in range(P):
+        lo, hi = int(bounds[j]), int(bounds[j + 1])
+        vals = draw(
+            st.lists(_values, min_size=hi - lo, max_size=hi - lo)
+        )
+        act = draw(
+            st.lists(st.booleans(), min_size=hi - lo, max_size=hi - lo)
+        )
+        messages.append(
+            ValueMessage.make(
+                sender=j % 2,
+                superstep=superstep,
+                interval=j,
+                P=P,
+                lo=lo,
+                hi=hi,
+                payload={"value": np.array(vals, dtype=np.float64)},
+                activated=np.array(act, dtype=bool),
+            )
+        )
+    return n, P, superstep, messages
+
+
+def _fresh(n):
+    return {"value": np.full(n, -1.0, dtype=np.float64)}, np.zeros(n, dtype=bool)
+
+
+def _apply(n, messages):
+    state, activated = _fresh(n)
+    apply_messages(messages, state, activated)
+    return state["value"], activated
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=superstep_messages(), seed=st.integers(0, 2**31 - 1))
+def test_application_is_order_insensitive(data, seed):
+    """Any delivery order of one superstep's messages → same arrays."""
+    n, _, _, messages = data
+    baseline_v, baseline_a = _apply(n, messages)
+    shuffled = list(messages)
+    np.random.default_rng(seed).shuffle(shuffled)
+    v, a = _apply(n, shuffled)
+    assert np.array_equal(v, baseline_v)
+    assert np.array_equal(a, baseline_a)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=superstep_messages(), dup_index=st.integers(0, 10), times=st.integers(1, 3))
+def test_application_is_idempotent_under_duplication(data, dup_index, times):
+    """A duplicated (or wholly re-applied) message changes nothing."""
+    n, P, _, messages = data
+    baseline_v, baseline_a = _apply(n, messages)
+    duplicated = list(messages) + [messages[dup_index % P]] * times
+    v, a = _apply(n, duplicated)
+    assert np.array_equal(v, baseline_v)
+    assert np.array_equal(a, baseline_a)
+    # applying the whole superstep twice is equally a no-op
+    state, activated = _fresh(n)
+    apply_messages(messages, state, activated)
+    apply_messages(messages, state, activated)
+    assert np.array_equal(state["value"], baseline_v)
+    assert np.array_equal(activated, baseline_a)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=superstep_messages(), delivered=st.data())
+def test_replay_after_rollback_converges(data, delivered):
+    """Partial delivery, rollback, full replay == failure-free delivery.
+
+    Models the recovery path: a worker had absorbed an arbitrary subset
+    of the superstep's messages when it crashed, rolled back to the
+    checkpoint (the fresh arrays), and the peers then replayed their
+    *entire* retained logs. The result must be bit-identical to a run
+    that never crashed.
+    """
+    n, _, _, messages = data
+    subset = delivered.draw(st.lists(st.sampled_from(messages), max_size=len(messages)))
+    baseline_v, baseline_a = _apply(n, messages)
+    state, activated = _fresh(n)
+    apply_messages(subset, state, activated)  # pre-crash partial absorb
+    state, activated = _fresh(n)  # rollback: back to the checkpoint
+    apply_messages(subset + messages, state, activated)  # replay everything
+    assert np.array_equal(state["value"], baseline_v)
+    assert np.array_equal(activated, baseline_a)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=superstep_messages(), seed=st.integers(0, 2**31 - 1))
+def test_inbox_dedups_by_seq_and_tracks_watermarks(data, seed):
+    """Every re-delivery is recognized; watermark = max delivered seq."""
+    _, _, _, messages = data
+    rng = np.random.default_rng(seed)
+    stream = list(messages) + [messages[int(rng.integers(len(messages)))]]
+    rng.shuffle(stream)
+    inbox = Inbox()
+    seen = set()
+    for msg in stream:
+        status = inbox.deliver(msg)
+        assert status == (DUPLICATE if msg.seq in seen else ACCEPTED)
+        seen.add(msg.seq)
+    assert len(inbox) == len(messages)
+    for sender in {m.sender for m in messages}:
+        expected = max(m.seq for m in messages if m.sender == sender)
+        assert inbox.watermark(sender) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=superstep_messages())
+def test_corruption_is_detected_and_rejected(data):
+    """A flipped payload bit fails the CRC and never lands in the inbox."""
+    _, _, _, messages = data
+    for msg in messages:
+        bad = msg.corrupted()
+        assert msg.verify()
+        assert not bad.verify()
+        inbox = Inbox()
+        assert inbox.deliver(bad) == CORRUPT
+        assert len(inbox) == 0  # rejection leaves no state behind
+        assert inbox.deliver(msg) == ACCEPTED  # the retry succeeds
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=superstep_messages())
+def test_resend_after_rollback_is_byte_identical(data):
+    """Rebuilding a message from the same state reproduces seq and CRC.
+
+    This is why a recovered worker can regenerate its outbound log from
+    restored state: the messages it re-sends are indistinguishable from
+    the originals, so peers dedup them by seq.
+    """
+    _, P, _, messages = data
+    for msg in messages:
+        again = ValueMessage.make(
+            sender=msg.sender,
+            superstep=msg.superstep,
+            interval=msg.interval,
+            P=P,
+            lo=msg.lo,
+            hi=msg.hi,
+            payload=msg.payload,
+            activated=msg.activated,
+        )
+        assert again.seq == msg.seq
+        assert again.crc == msg.crc
+        inbox = Inbox()
+        assert inbox.deliver(msg) == ACCEPTED
+        assert inbox.deliver(again) == DUPLICATE
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    P=st.integers(min_value=1, max_value=8),
+    supersteps=st.integers(min_value=1, max_value=6),
+)
+def test_seq_is_unique_per_superstep_interval(P, supersteps):
+    """``seq = superstep * P + interval`` is a bijection."""
+    seqs = {
+        message_seq(t, j, P) for t in range(supersteps) for j in range(P)
+    }
+    assert len(seqs) == supersteps * P
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=superstep_messages())
+def test_drop_through_releases_only_older_supersteps(data):
+    """Log release keeps exactly the supersteps newer than the cut."""
+    _, _, superstep, messages = data
+    inbox = Inbox()
+    for msg in messages:
+        inbox.deliver(msg)
+    inbox.drop_through(superstep - 1)
+    assert len(inbox) == len(messages)  # the current superstep is retained
+    assert inbox.messages_for(superstep) == sorted(
+        messages, key=lambda m: m.interval
+    )
+    inbox.drop_through(superstep)
+    assert len(inbox) == 0
+    # watermarks survive the drop: they name the consistent cut
+    for sender in {m.sender for m in messages}:
+        assert inbox.watermark(sender) >= 0
