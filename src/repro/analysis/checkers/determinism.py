@@ -42,7 +42,7 @@ class SimDeterminismChecker(Checker):
     rule_id = "GSD101"
     title = "sim paths must not touch wall-clock time or ad-hoc randomness"
     suppress_marker = "sim-ok"
-    scope_dirs = ("core", "graph", "storage", "algorithms", "obs", "cluster")
+    scope_dirs = ("core", "graph", "storage", "algorithms", "obs", "cluster", "tune")
 
     def visit(self, sf: SourceFile) -> None:
         in_obs = sf.rel.split("/", 1)[0] == "obs"

@@ -49,6 +49,7 @@ from repro.storage import (
     MachineProfile,
     SimulatedDisk,
 )
+from repro.tune.profile import TunedProfile
 from repro.utils.validation import require
 
 
@@ -100,11 +101,22 @@ def _graphsd_engine(config: Optional[GraphSDConfig] = None, label: Optional[str]
         ctx: GraphContext,
         pipeline: bool = False,
         prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
+        gather_lanes: int = 1,
+        buffer_serves_selective: Optional[bool] = None,
+        tuned_profile: Optional["TunedProfile"] = None,
     ) -> EngineBase:
         from dataclasses import replace
 
         cfg = config if config is not None else GraphSDConfig()
-        cfg = replace(cfg, pipeline=pipeline, prefetch_depth=prefetch_depth)
+        cfg = replace(
+            cfg,
+            pipeline=pipeline,
+            prefetch_depth=prefetch_depth,
+            gather_lanes=gather_lanes,
+            tuned_profile=tuned_profile,
+        )
+        if buffer_serves_selective is not None:
+            cfg = replace(cfg, buffer_serves_selective=buffer_serves_selective)
         return GraphSDEngine(store, machine, config=cfg, ctx=ctx, label=label)
 
     return make
@@ -117,10 +129,19 @@ def _simple_engine(cls):
         ctx: GraphContext,
         pipeline: bool = False,
         prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
+        gather_lanes: int = 1,
+        buffer_serves_selective: Optional[bool] = None,
+        tuned_profile: Optional["TunedProfile"] = None,
     ) -> EngineBase:
         # Baseline engines model strictly serial systems; the pipeline
-        # flags do not apply to them.
+        # and gather knobs do not apply to them.
         require(not pipeline, f"{cls.__name__} does not support --pipeline")
+        require(gather_lanes == 1, f"{cls.__name__} does not support --gather-lanes")
+        require(
+            buffer_serves_selective is None,
+            f"{cls.__name__} does not support --buffer-serves-selective",
+        )
+        require(tuned_profile is None, f"{cls.__name__} does not support --autotune")
         return cls(store, machine, ctx=ctx)
 
     return make
@@ -144,6 +165,13 @@ SYSTEMS: Dict[str, SystemSpec] = {
         "graphsd-nobuffer",
         "graphsd",
         _graphsd_engine(GraphSDConfig.no_buffering(), "graphsd-nobuffer"),
+    ),
+    "graphsd-bufsel": SystemSpec(
+        "graphsd-bufsel",
+        "graphsd",
+        _graphsd_engine(
+            GraphSDConfig(buffer_serves_selective=True), "graphsd-bufsel"
+        ),
     ),
     "husgraph": SystemSpec("husgraph", "husgraph", _simple_engine(HUSGraphEngine)),
     "lumos": SystemSpec("lumos", "lumos", _simple_engine(LumosEngine)),
@@ -171,6 +199,9 @@ class Harness:
         checksums: bool = False,
         pipeline: bool = False,
         prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
+        gather_lanes: int = 1,
+        buffer_serves_selective: Optional[bool] = None,
+        tuned_profile: Optional[TunedProfile] = None,
         encoding: str = ENCODING_RAW,
         trace_dir: Optional[str] = None,
     ) -> None:
@@ -189,6 +220,15 @@ class Harness:
         self.checksums = checksums
         self.pipeline = pipeline
         self.prefetch_depth = prefetch_depth
+        #: Modeled disk-lane concurrency for SCIU's selective gathers
+        #: (K=1 is the serial, bit-identical default).
+        self.gather_lanes = gather_lanes
+        #: ``None`` leaves each system's own config untouched; True/False
+        #: overrides ``buffer_serves_selective`` on graphsd engines.
+        self.buffer_serves_selective = buffer_serves_selective
+        #: Fitted cost-model profile fed into graphsd's scheduler
+        #: (``graphsd tune`` output; see docs/TUNING.md).
+        self.tuned_profile = tuned_profile
         #: Sub-block encoding for the graphsd representation. Baseline
         #: representations (lumos, husgraph) always build raw grids —
         #: the compared systems do not have the compact layout.
@@ -202,7 +242,7 @@ class Harness:
         self._edges: Dict[Tuple, EdgeList] = {}
         self._contexts: Dict[Tuple, GraphContext] = {}
         self._reference_cache: Dict[Tuple, np.ndarray] = {}
-        self._run_cache: Dict[Tuple[str, str, str, bool, int], RunResult] = {}
+        self._run_cache: Dict[Tuple, RunResult] = {}
         self._cluster_runs = 0
 
     # -- inputs --------------------------------------------------------
@@ -269,6 +309,8 @@ class Harness:
         use_cache: bool = True,
         pipeline: Optional[bool] = None,
         prefetch_depth: Optional[int] = None,
+        gather_lanes: Optional[int] = None,
+        buffer_serves_selective: Optional[bool] = None,
         trace_path: Optional[str] = None,
     ) -> RunResult:
         """Execute one (system, workload, dataset) cell.
@@ -279,8 +321,10 @@ class Harness:
         the paper's evaluation does) pay for each cell once.
 
         ``pipeline``/``prefetch_depth`` resolve per call → per workload →
-        harness default; pipelined cells are cached separately (they
-        produce identical results but different elapsed times).
+        harness default; ``gather_lanes``/``buffer_serves_selective``
+        resolve per call → harness default. Cells with different knob
+        settings are cached separately (they produce identical values
+        but different modeled times/counters).
 
         ``trace_path`` (or the harness-level ``trace_dir``) attaches a
         structured tracer to the engine — every engine, baselines
@@ -298,7 +342,14 @@ class Harness:
                 if workload.prefetch_depth is not None
                 else self.prefetch_depth
             )
-        key = (system, workload_key, dataset, bool(pipeline), int(prefetch_depth))
+        if gather_lanes is None:
+            gather_lanes = self.gather_lanes
+        if buffer_serves_selective is None:
+            buffer_serves_selective = self.buffer_serves_selective
+        key = (
+            system, workload_key, dataset, bool(pipeline), int(prefetch_depth),
+            int(gather_lanes), buffer_serves_selective,
+        )
         if use_cache and key in self._run_cache:
             return self._run_cache[key]
         spec = SYSTEMS[system]
@@ -309,7 +360,14 @@ class Harness:
             dataset, workload
         )
         engine = spec.make_engine(
-            store, self.machine, ctx, pipeline=pipeline, prefetch_depth=prefetch_depth
+            store,
+            self.machine,
+            ctx,
+            pipeline=pipeline,
+            prefetch_depth=prefetch_depth,
+            gather_lanes=gather_lanes,
+            buffer_serves_selective=buffer_serves_selective,
+            tuned_profile=self.tuned_profile,
         )
         if trace_path is None and self.trace_dir is not None:
             suffix = "-pipelined" if pipeline else ""

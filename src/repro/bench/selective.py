@@ -1,0 +1,297 @@
+"""Selective-gather benchmark: K-lane gathers × index metadata (BENCH_5).
+
+Runs the SCIU-heavy workloads (pr-d, sssp, ppr) on the SCIU-pinned
+``graphsd-b4`` ablation across gather-lane counts K ∈ {1, 2, 4, 8} and
+both compact on-disk formats (format 2 ``compact`` and format 3
+``compact3``, see ``docs/STORAGE.md``). The gather pool models lane
+concurrency purely in the accounting layer, so every cell must agree
+bit-for-bit on values, iterations, and every byte/request counter with
+its K=1 baseline — only modeled times (and the lane-schedule counter
+``gather_queue_peak``) may change, and totals must change *down* for
+K >= 2. The compact3 index must shrink the ``.idx`` bytes the selective
+path reads by at least 2x.
+
+``python -m repro.bench.selective`` writes ``BENCH_5.json``; ``--smoke``
+builds both formats on a small R-MAT graph, checks lane bit-identity,
+the strict K>=2 speedup (serial and pipelined), and the index-byte
+reduction, and exits nonzero on any violation — the CI guard for the
+selective-gather layer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import Harness
+from repro.core import RunResult
+from repro.storage.iostats import WALL_CLOCK_DEPENDENT_FIELDS
+
+#: The workloads whose rounds are dominated by selective gathers.
+RECORD_ALGOS: Sequence[str] = ("pr-d", "sssp", "ppr")
+#: SCIU pinned every round: each cell exercises the gather pool.
+RECORD_SYSTEM = "graphsd-b4"
+RECORD_DATASET = "twitter2010"
+RECORD_LANES: Sequence[int] = (1, 2, 4, 8)
+RECORD_ENCODINGS: Sequence[str] = ("compact", "compact3")
+BENCH_ID = "BENCH_5"
+
+#: IOStats counters that legitimately depend on the lane count: the
+#: greedy lane assignment changes per-lane queue depths, nothing else.
+GATHER_SCHEDULE_FIELDS: Sequence[str] = ("gather_queue_peak",)
+
+
+def _lane_diff(base: RunResult, run: RunResult) -> List[str]:
+    """What differs between a K=1 baseline and a K-lane run but must not.
+
+    Values, iteration structure, and every IOStats counter must match
+    except the documented wall-clock-dependent fields and the
+    lane-schedule counter; modeled *times* are intentionally excluded
+    (lane concurrency exists to change them).
+    """
+    diffs: List[str] = []
+    if base.values_sha256() != run.values_sha256():
+        diffs.append("values")
+    if base.iterations != run.iterations:
+        diffs.append("iterations")
+    if base.model_history != run.model_history:
+        diffs.append("model_history")
+    io_a, io_b = base.io.to_dict(), run.io.to_dict()
+    for name in io_a:
+        if name in WALL_CLOCK_DEPENDENT_FIELDS or name in GATHER_SCHEDULE_FIELDS:
+            continue
+        if io_a[name] != io_b[name]:
+            diffs.append(f"io.{name}: {io_a[name]} != {io_b[name]}")
+    return diffs
+
+
+def _index_entry(h_compact: Harness, h_compact3: Harness, dataset: str) -> Dict[str, object]:
+    """``.idx`` byte figures for both formats (the metadata SCIU reads)."""
+    from repro.bench.harness import WORKLOADS
+
+    entry: Dict[str, object] = {}
+    for label, workload in (("unweighted", WORKLOADS["pr-d"]), ("weighted", WORKLOADS["sssp"])):
+        s2, _ = h_compact.preprocess("graphsd", dataset, workload)
+        s3, _ = h_compact3.preprocess("graphsd", dataset, workload)
+        entry[label] = {
+            "compact_index_bytes": s2.index_total_bytes,
+            "compact3_index_bytes": s3.index_total_bytes,
+            "reduction": s2.index_total_bytes / s3.index_total_bytes,
+        }
+    return entry
+
+
+def build_record(
+    dataset: str = RECORD_DATASET,
+    algorithms: Sequence[str] = RECORD_ALGOS,
+    lanes: Sequence[int] = RECORD_LANES,
+    P: int = 8,
+) -> Dict[str, object]:
+    """The ``BENCH_5.json`` payload.
+
+    One harness per on-disk format (shared preprocessing and run caches);
+    per (algorithm, format) the K=1 run is the identity baseline for
+    every K >= 2 cell, and the two formats' K=1 runs are cross-checked
+    against each other (the format must be invisible to the computation).
+    """
+    harnesses = {
+        "compact": Harness(P=P, encoding="compact"),
+        "compact3": Harness(P=P, encoding="compact3"),
+    }
+    try:
+        record: Dict[str, object] = {
+            "bench_id": BENCH_ID,
+            "description": "K-lane selective gathers x compact index metadata",
+            "dataset": dataset,
+            "system": RECORD_SYSTEM,
+            "partitions": P,
+            "machine": "default (HDD profile)",
+            "index_bytes": _index_entry(
+                harnesses["compact"], harnesses["compact3"], dataset
+            ),
+            "workloads": {},
+        }
+        for algo in algorithms:
+            algo_entry: Dict[str, object] = {}
+            baselines: Dict[str, RunResult] = {}
+            for encoding, harness in harnesses.items():
+                enc_entry: Dict[str, object] = {}
+                base = harness.run(RECORD_SYSTEM, algo, dataset, gather_lanes=1)
+                baselines[encoding] = base
+                for k in lanes:
+                    run = harness.run(RECORD_SYSTEM, algo, dataset, gather_lanes=k)
+                    diffs = _lane_diff(base, run)
+                    enc_entry[f"K{k}"] = {
+                        "lanes": k,
+                        "sim_seconds": run.sim_seconds,
+                        "io_seconds": run.io_seconds,
+                        "io_bytes": run.io_traffic,
+                        "gather_runs_issued": run.gather_runs_issued,
+                        "gather_lane_busy_seconds": run.gather_lane_busy_seconds,
+                        "gather_queue_peak": run.gather_queue_peak,
+                        "identical_results": not diffs,
+                        "diffs": diffs,
+                        "sim_speedup": base.sim_seconds / run.sim_seconds,
+                    }
+                algo_entry[encoding] = enc_entry
+            algo_entry["formats_agree"] = (
+                baselines["compact"].values_sha256()
+                == baselines["compact3"].values_sha256()
+            )
+            record["workloads"][algo] = algo_entry
+    finally:
+        for harness in harnesses.values():
+            harness.cleanup()
+    return record
+
+
+def check_record(record: Dict[str, object]) -> List[str]:
+    """The PR's acceptance properties, as human-readable failures."""
+    failures: List[str] = []
+    for label, entry in record["index_bytes"].items():
+        if entry["reduction"] < 2.0:
+            failures.append(
+                f"index bytes ({label}): reduction {entry['reduction']:.2f}x < 2x"
+            )
+    for algo, algo_entry in record["workloads"].items():
+        if not algo_entry["formats_agree"]:
+            failures.append(f"{algo}: compact and compact3 values differ")
+        for encoding in RECORD_ENCODINGS:
+            cells = algo_entry[encoding]
+            base_sim = cells["K1"]["sim_seconds"]
+            for name, cell in cells.items():
+                if not cell["identical_results"]:
+                    failures.append(
+                        f"{algo}/{encoding}/{name}: not lane-invariant: {cell['diffs']}"
+                    )
+                if cell["lanes"] >= 2 and not cell["sim_seconds"] < base_sim:
+                    failures.append(
+                        f"{algo}/{encoding}/{name}: sim {cell['sim_seconds']:.3f}s "
+                        f"not strictly below K=1 {base_sim:.3f}s"
+                    )
+    return failures
+
+
+def smoke(scale: int = 11, edge_factor: float = 12.0, P: int = 4) -> int:
+    """CI guard: lane bit-identity + speedup + index shrink on R-MAT.
+
+    Builds compact and compact3 grids from one generated graph, runs
+    PageRank-Delta through the SCIU-pinned engine at K=1 and K=4
+    (serial and pipelined), and requires bit-identical values, strictly
+    lower modeled time at K=4, and a >= 2x ``.idx`` byte reduction.
+    Exit 0 iff all hold.
+    """
+    import pathlib
+    import tempfile
+    from dataclasses import replace
+
+    import numpy as np
+
+    from repro.algorithms import make_program
+    from repro.core import GraphSDConfig, GraphSDEngine
+    from repro.datasets.rmat import rmat_edges
+    from repro.graph import GridStore, make_intervals
+    from repro.storage import Device
+
+    failures: List[str] = []
+    root = pathlib.Path(tempfile.mkdtemp(prefix="selective-smoke-"))
+    edges = rmat_edges(scale, edge_factor, seed=42)
+    intervals = make_intervals(edges, P)
+    stores = {}
+    for encoding in ("compact", "compact3"):
+        stores[encoding] = GridStore.build(
+            edges, intervals, Device(root / encoding),
+            prefix="g", indexed=True, encoding=encoding,
+        )
+    idx2 = stores["compact"].index_total_bytes
+    idx3 = stores["compact3"].index_total_bytes
+    print(f"index bytes: compact {idx2} B -> compact3 {idx3} B ({idx2 / idx3:.2f}x)")
+    if idx3 * 2 > idx2:
+        failures.append(f"compact3 index {idx3} B not >= 2x below compact {idx2} B")
+
+    def run(encoding: str, k: int, pipeline: bool):
+        cfg = replace(
+            GraphSDConfig.baseline_b4(),
+            gather_lanes=k,
+            pipeline=pipeline,
+            prefetch_depth=2,
+        )
+        return GraphSDEngine(stores[encoding], config=cfg).run(
+            make_program("pagerank_delta", iterations=10)
+        )
+
+    base = run("compact", 1, False)
+    for encoding in ("compact", "compact3"):
+        for pipeline in (False, True):
+            fast = run(encoding, 4, pipeline)
+            tag = f"{encoding} K=4{' +pipeline' if pipeline else ''}"
+            identical = bool(
+                np.array_equal(base.values, fast.values, equal_nan=True)
+            )
+            if not identical:
+                failures.append(f"{tag}: values differ from compact K=1")
+            if not fast.sim_seconds < base.sim_seconds:
+                failures.append(
+                    f"{tag}: sim {fast.sim_seconds:.3f}s not below "
+                    f"K=1 {base.sim_seconds:.3f}s"
+                )
+            print(
+                f"{tag}: sim {base.sim_seconds:.3f}s -> {fast.sim_seconds:.3f}s, "
+                f"gather runs {fast.gather_runs_issued}, identical={identical}"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("OK: lanes are bit-invariant, faster at K=4; compact3 index >= 2x smaller")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.selective",
+        description="K-lane selective gathers x index metadata benchmark "
+        "(writes BENCH_5.json).",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_5.json", help="record path (default: BENCH_5.json)"
+    )
+    parser.add_argument("-P", "--partitions", type=int, default=8)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small R-MAT guard: lane bit-identity, K=4 speedup, and "
+        ">=2x .idx reduction; exit nonzero on any violation",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return smoke()
+    record = build_record(P=args.partitions)
+    failures = check_record(record)
+    # charged-io-ok: host-side benchmark report, not simulated graph I/O
+    with open(args.out, "w") as f:
+        json.dump(record, f, indent=2)
+        f.write("\n")
+    for label, entry in record["index_bytes"].items():
+        print(
+            f"index bytes ({label}): {entry['compact_index_bytes']} B -> "
+            f"{entry['compact3_index_bytes']} B ({entry['reduction']:.2f}x)"
+        )
+    for algo, algo_entry in record["workloads"].items():
+        for encoding in RECORD_ENCODINGS:
+            cells = algo_entry[encoding]
+            k1, k8 = cells["K1"], cells[f"K{max(RECORD_LANES)}"]
+            print(
+                f"{algo}/{encoding}: sim {k1['sim_seconds']:.3f}s -> "
+                f"{k8['sim_seconds']:.3f}s at K={max(RECORD_LANES)} "
+                f"({k8['sim_speedup']:.2f}x, identical={k8['identical_results']})"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print(f"wrote {args.out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -20,6 +20,10 @@ Subcommands
 ``lint``
     Run the project-invariant static checkers (see ``docs/ANALYSIS.md``).
     Exit 0 when clean, 1 on new findings, 2 on bad usage.
+``tune``
+    Fit §4.1 cost-model scales and knob recommendations from the
+    scheduler-audit records of one or more structured traces, and write
+    the profile ``run --autotune PATH`` consumes (see ``docs/TUNING.md``).
 """
 
 from __future__ import annotations
@@ -87,13 +91,46 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.tune import TunedProfile
+
+    # Knob resolution: explicit flag > --autotune recommendation > default.
+    tuned: Optional[TunedProfile] = None
+    gather_lanes = args.gather_lanes
+    prefetch_depth = args.prefetch_depth
+    if args.autotune:
+        tuned = TunedProfile.load(args.autotune)
+        edges = load_dataset(
+            args.dataset,
+            weighted=WORKLOADS[args.algorithm].weighted,
+            symmetrize=WORKLOADS[args.algorithm].symmetrize,
+        )
+        program_name = WORKLOADS[args.algorithm].make_program().name
+        rec = tuned.recommend(program_name, edges.num_vertices, edges.num_edges)
+        if rec is not None:
+            if gather_lanes is None:
+                gather_lanes = rec.gather_lanes
+            if prefetch_depth is None:
+                prefetch_depth = rec.prefetch_depth
+            print(
+                f"autotune: {program_name} |V|={edges.num_vertices:,} "
+                f"|E|={edges.num_edges:,} -> gather_lanes={rec.gather_lanes} "
+                f"prefetch_depth={rec.prefetch_depth}",
+                file=sys.stderr,
+            )
+    if gather_lanes is None:
+        gather_lanes = 1
+    if prefetch_depth is None:
+        prefetch_depth = DEFAULT_PREFETCH_DEPTH
     harness = Harness(
         workspace=args.workspace,
         P=args.partitions,
         verify=args.verify,
         checksums=args.checksums,
         pipeline=args.pipeline,
-        prefetch_depth=args.prefetch_depth,
+        prefetch_depth=prefetch_depth,
+        gather_lanes=gather_lanes,
+        buffer_serves_selective=args.buffer_serves_selective,
+        tuned_profile=tuned,
         encoding=args.encoding,
     )
     trace_path = args.trace if isinstance(args.trace, str) else None
@@ -110,6 +147,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print(
                     "error: --workers and --pipeline are mutually exclusive "
                     "(cluster workers overlap via sharding, not prefetch)",
+                    file=sys.stderr,
+                )
+                return 2
+            if (
+                gather_lanes != 1
+                or args.buffer_serves_selective is not None
+                or tuned is not None
+            ):
+                print(
+                    "error: --gather-lanes/--buffer-serves-selective/--autotune "
+                    "apply to single-process graphsd runs, not --workers",
                     file=sys.stderr,
                 )
                 return 2
@@ -179,6 +227,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "prefetch_hits": result.prefetch_hits,
             "prefetch_wasted": result.prefetch_wasted,
             "buffer_hit_bytes": result.buffer_hit_bytes,
+            "gather_runs_issued": result.gather_runs_issued,
+            "gather_lane_busy_seconds": result.gather_lane_busy_seconds,
+            "gather_queue_peak": result.gather_queue_peak,
             "recovery": dict(result.recovery),
         }
         # charged-io-ok: host-side result file, not simulated graph I/O
@@ -258,6 +309,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 print()
     if args.trace:
         print(f"traces in {args.trace}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.tune import fit_profile
+
+    report = fit_profile(args.traces, machine=args.machine)
+    print(report.render())
+    if args.out:
+        report.profile.save(args.out)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -349,9 +411,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--prefetch-depth",
         type=int,
-        default=DEFAULT_PREFETCH_DEPTH,
+        default=None,
         metavar="N",
-        help="pipeline lookahead: max decoded blocks queued ahead of compute",
+        help="pipeline lookahead: max decoded blocks queued ahead of "
+        f"compute (default {DEFAULT_PREFETCH_DEPTH}, or the --autotune "
+        "recommendation when one matches)",
+    )
+    p.add_argument(
+        "--gather-lanes",
+        type=int,
+        default=None,
+        metavar="K",
+        help="modeled concurrent disk lanes for SCIU's selective gathers "
+        "(default 1 = serial; results stay bit-identical for any K, only "
+        "modeled time changes; see docs/PERFORMANCE.md)",
+    )
+    p.add_argument(
+        "--buffer-serves-selective",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="let the in-memory block buffer satisfy SCIU's selective "
+        "gathers directly (buffer hits skip the gather lanes entirely)",
+    )
+    p.add_argument(
+        "--autotune",
+        default=None,
+        metavar="PROFILE",
+        help="apply a fitted cost-model profile written by 'graphsd tune': "
+        "scales the scheduler's cost predictions and picks gather-lane/"
+        "prefetch-depth recommendations for matching workloads "
+        "(explicit flags win; see docs/TUNING.md)",
     )
     p.add_argument(
         "--encoding",
@@ -420,6 +509,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a structured JSONL trace per executed cell into DIR",
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "tune",
+        help="fit cost-model scales + knob recommendations from trace "
+        "audit records (docs/TUNING.md)",
+    )
+    p.add_argument(
+        "traces",
+        nargs="+",
+        help="JSONL trace files written by run/bench --trace (fit on "
+        "traces from *untuned* runs)",
+    )
+    p.add_argument(
+        "--machine",
+        default="default",
+        help="machine-profile label stored in the fitted profile",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="PROFILE", help="write the profile JSON here"
+    )
+    p.set_defaults(func=_cmd_tune)
 
     p = sub.add_parser(
         "trace", help="inspect structured trace files (docs/OBSERVABILITY.md)"

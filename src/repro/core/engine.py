@@ -53,7 +53,9 @@ from repro.graph.grid import EdgeBlock, GridStore
 from repro.obs import Tracer
 from repro.storage.faults import GatherFault
 from repro.storage.disk import MachineProfile, DEFAULT_MACHINE
+from repro.storage.gatherpool import GatherPool
 from repro.storage.prefetch import BlockPrefetcher
+from repro.tune.profile import TunedProfile
 from repro.utils.bitset import VertexSubset
 from repro.utils.timers import COMPUTE, SCHEDULING, OverlapRegion
 from repro.utils.validation import check_nonneg, require
@@ -92,6 +94,17 @@ class GraphSDConfig:
     #: Lookahead of the prefetch pipeline; must be >= 1 when ``pipeline``
     #: is enabled. Ignored in serial mode.
     prefetch_depth: int = DEFAULT_PREFETCH_DEPTH
+    #: Modeled disk lanes for SCIU's selective gathers (see
+    #: :mod:`repro.storage.gatherpool`). 1 (default) is the serial
+    #: gather, bit-identical to the pre-pool engine; K>1 spreads the
+    #: round's independent gather loads over K concurrent lanes and
+    #: credits the hidden DISK time — results stay bit-identical, only
+    #: elapsed simulated time changes.
+    gather_lanes: int = 1
+    #: Fitted cost-model constants + knob recommendations produced by
+    #: ``graphsd tune`` (see :mod:`repro.tune`). ``None`` leaves the
+    #: analytic §4.1 predictions untouched.
+    tuned_profile: Optional[TunedProfile] = None
     #: Observability: when set, the engine records a full dual-timeline
     #: trace (spans, per-iteration records, scheduler audit — see
     #: :mod:`repro.obs`) and writes it to this JSONL path when the run
@@ -108,6 +121,7 @@ class GraphSDConfig:
             not self.pipeline or self.prefetch_depth >= 1,
             "pipeline requires prefetch_depth >= 1",
         )
+        require(self.gather_lanes >= 1, "gather_lanes must be >= 1")
 
     # Named ablations from §5.4 ------------------------------------------
 
@@ -175,6 +189,8 @@ class GraphSDEngine(EngineBase):
             value_bytes_per_vertex=self.state_value_bytes,
             seq_run_threshold_bytes=self.config.seq_run_threshold_bytes,
             pipelined=self.config.pipeline,
+            gather_lanes=self.config.gather_lanes,
+            tuned=self.config.tuned_profile,
         )
         if self.config.enable_buffering:
             capacity = self.config.buffer_bytes
@@ -209,6 +225,24 @@ class GraphSDEngine(EngineBase):
         """
         depth = self.config.prefetch_depth if self.pipeline_enabled else 0
         return BlockPrefetcher(depth, stats=self.disk.stats, tracer=self.tracer)
+
+    def make_gather_pool(self) -> GatherPool:
+        """A K-lane gather pool for one SCIU round's selective loads.
+
+        Executes the plan's thunks through the same single-worker,
+        in-plan-order discipline as :meth:`make_prefetcher` (so fault
+        ordinals and disk-op streams are unchanged); with
+        ``config.gather_lanes > 1`` it additionally credits the DISK
+        time hidden by modeled lane concurrency.
+        """
+        depth = self.config.prefetch_depth if self.pipeline_enabled else 0
+        return GatherPool(
+            self.config.gather_lanes,
+            depth,
+            clock=self.clock,
+            stats=self.disk.stats,
+            tracer=self.tracer,
+        )
 
     def overlap_region(self) -> "ContextManager[Optional[OverlapRegion]]":
         """A clock overlap region when pipelining, else a null context."""

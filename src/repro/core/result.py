@@ -130,6 +130,20 @@ class RunResult:
     def buffer_hit_bytes(self) -> int:
         return self.io.buffer_hit_bytes
 
+    # -- selective-gather pool observability ------------------------------
+
+    @property
+    def gather_runs_issued(self) -> int:
+        return self.io.gather_runs_issued
+
+    @property
+    def gather_lane_busy_seconds(self) -> float:
+        return self.io.gather_lane_busy_seconds
+
+    @property
+    def gather_queue_peak(self) -> int:
+        return self.io.gather_queue_peak
+
     @property
     def frontier_history(self) -> List[int]:
         return [r.frontier_size for r in self.per_iteration]
@@ -148,6 +162,12 @@ class RunResult:
         prefetch = (
             f"prefetch {self.prefetch_hits}/{self.prefetch_issued} hits, "
             if self.prefetch_issued > 0
+            else ""
+        )
+        gather = (
+            f"gather {self.gather_runs_issued} runs "
+            f"(peak lane queue {self.gather_queue_peak}), "
+            if self.gather_runs_issued > 0
             else ""
         )
         faults = (
@@ -175,7 +195,7 @@ class RunResult:
         return (
             f"{self.engine}/{self.program}: {self.iterations} iters, "
             f"sim {self.sim_seconds:.3f}s (io {self.io_seconds:.3f}s, "
-            f"compute {self.compute_seconds:.3f}s), {overlap}{prefetch}"
+            f"compute {self.compute_seconds:.3f}s), {overlap}{prefetch}{gather}"
             f"traffic {self.io_traffic / (1 << 20):.1f} MiB, "
             f"{'converged' if self.converged else 'iteration cap reached'}"
             f"{faults}{recovery}"

@@ -37,12 +37,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.graph.grid import GridStore, INDEX_DTYPE
+from repro.graph.grid import GridStore
 from repro.storage.disk import MachineProfile
+from repro.tune.profile import TunedProfile
 from repro.utils.bitset import VertexSubset
 from repro.utils.runs import merge_runs  # noqa: F401  (re-exported; engines import it from here)
 from repro.utils.validation import check_positive, require
@@ -123,6 +124,8 @@ class StateAwareScheduler:
         value_bytes_per_vertex: int,
         seq_run_threshold_bytes: int = DEFAULT_SEQ_RUN_THRESHOLD,
         pipelined: bool = False,
+        gather_lanes: int = 1,
+        tuned: Optional[TunedProfile] = None,
     ) -> None:
         require(
             out_degrees.shape == (store.num_vertices,),
@@ -139,6 +142,14 @@ class StateAwareScheduler:
         #: ``max(io, compute) + fill`` instead of ``io + compute``,
         #: matching the dual-timeline clock's charging exactly.
         self.pipelined = bool(pipelined)
+        #: Modeled gather-lane concurrency of the engine's GatherPool;
+        #: K>1 divides the on-demand edge-read time by the achievable
+        #: parallelism. 1 reproduces the pre-pool arithmetic exactly.
+        check_positive(gather_lanes, "gather_lanes")
+        self.gather_lanes = int(gather_lanes)
+        #: Fitted cost-model scales from ``graphsd tune`` (None = raw
+        #: analytic predictions).
+        self.tuned = tuned
         self.evaluations = 0
         self.eval_seconds = 0.0  # modeled benefit-evaluation compute (Fig. 11)
 
@@ -201,12 +212,15 @@ class StateAwareScheduler:
         mode = np.zeros(P, dtype=np.int8)
         lo_local = np.zeros(P, dtype=np.int64)
         hi_local = np.zeros(P, dtype=np.int64)
-        item = INDEX_DTYPE.itemsize
         total_cost = 0.0
         for i in range(P):
             a = int(active_per_row[i])
             if a == 0:
                 continue
+            # Per-entry index bytes for this row: 8 (INDEX_DTYPE) through
+            # format 2, the row's widest narrowest-uint column in the
+            # compact3 layout — pricing the bytes the store will read.
+            item = store.index_entry_bytes(i)
             lo_local[i] = int(active[positions[i]]) - int(boundaries[i])
             hi_local[i] = int(active[positions[i + 1] - 1]) - int(boundaries[i])
             span = int(hi_local[i] - lo_local[i]) + 1
@@ -274,6 +288,16 @@ class StateAwareScheduler:
             + disk.seq_read_time(s_seq, requests=seq_requests)
             + index_cost
         )
+        # SCIU's plan has one load task per nonzero (row, column) pair of
+        # a row with active vertices; the gather pool spreads those tasks
+        # over K modeled lanes.
+        rows = plan.active_per_row > 0
+        n_tasks = int(np.count_nonzero(store.block_counts[rows], axis=None))
+        if self.gather_lanes > 1:
+            # Perfect balance bound: K lanes can hide at most a 1/K'th
+            # fraction per lane (never more lanes than tasks). Guarded so
+            # K=1 reproduces the pre-pool arithmetic bit-for-bit.
+            edge_io /= min(self.gather_lanes, max(1, n_tasks))
         vertex_io = disk.seq_read_time(vertex_bytes, requests=1) + disk.seq_write_time(
             vertex_bytes, requests=1
         )
@@ -282,11 +306,7 @@ class StateAwareScheduler:
         if self.pipelined:
             # The scatter stretch (index + adjacency reads vs. gather
             # compute) overlaps; applies and vertex I/O stay serial. The
-            # fill is approximated as one average block load — SCIU's
-            # plan has one task per nonzero (row, column) pair of a row
-            # with active vertices.
-            rows = plan.active_per_row > 0
-            n_tasks = int(np.count_nonzero(store.block_counts[rows], axis=None))
+            # fill is approximated as one average block load.
             fill = edge_io / max(1, n_tasks)
             cost = vertex_io + apply_compute + self.overlapped(
                 edge_io, scatter_compute, fill
@@ -305,6 +325,12 @@ class StateAwareScheduler:
         """
         c_full = self.full_cost()
         c_od, s_seq, s_ran, idx_bytes = self.on_demand_cost(frontier)
+        if self.tuned is not None:
+            # Fitted per-machine multipliers (graphsd tune). The neutral
+            # 1.0 scale is float-exact (x * 1.0 == x), so an empty fit
+            # cannot perturb decisions.
+            c_full *= self.tuned.full_cost_scale
+            c_od *= self.tuned.on_demand_cost_scale
         chosen = IOModel.ON_DEMAND if c_od <= c_full else IOModel.FULL
         self.evaluations += 1
         self.eval_seconds += self.machine.sched_eval_time(frontier.count + self.store.P)

@@ -29,13 +29,17 @@ The scatter phase first builds a *block plan* on the consuming thread:
 sub-block buffer hits are resolved immediately (residency is static
 during a round), and every remaining ``(i, j)`` pair becomes one load
 thunk (index access + selective edge load). The thunks then stream
-through the engine's :class:`~repro.storage.prefetch.BlockPrefetcher`
-inside a clock :class:`~repro.utils.timers.OverlapRegion` — with
-pipelining enabled, block ``k+1``'s index reads and gather-loads overlap
-with block ``k``'s gather/combine compute. The single in-order worker
-reproduces the serial disk-operation stream exactly, so injected faults
-fire identically and the existing GatherFault degradation path (retry
-budget exhausted → rolled back → full streaming) works unchanged.
+through the engine's :class:`~repro.storage.gatherpool.GatherPool`
+(which delegates execution to a single in-order
+:class:`~repro.storage.prefetch.BlockPrefetcher` worker) inside a clock
+:class:`~repro.utils.timers.OverlapRegion` — with pipelining enabled,
+block ``k+1``'s index reads and gather-loads overlap with block ``k``'s
+gather/combine compute, and with ``gather_lanes > 1`` the pool
+additionally credits the DISK time hidden by spreading the independent
+loads over K modeled lanes. The single in-order worker reproduces the
+serial disk-operation stream exactly, so injected faults fire
+identically and the existing GatherFault degradation path (retry budget
+exhausted → rolled back → full streaming) works unchanged.
 """
 
 from __future__ import annotations
@@ -128,16 +132,19 @@ def run_sciu_round(engine: "GraphSDEngine") -> VertexSubset:
                     )
 
         # ---- consume: gather/combine in plan order ---------------------
+        # Buffer hits were resolved at plan time, so they never occupy a
+        # gather lane — only the miss thunks flow through the pool.
         retained: List[EdgeBlock] = []
         edges_processed = 0
-        prefetcher = engine.make_prefetcher()
+        pool = engine.make_gather_pool()
         with engine.tracer.span(
-            "sciu.scatter", cat="phase", blocks=len(plan), tasks=len(tasks)
+            "sciu.scatter", cat="phase", blocks=len(plan), tasks=len(tasks),
+            lanes=pool.lanes,
         ):
             with engine.overlap_region() as region:
                 if region is not None and tasks:
                     tasks[0] = region.measure_fill(tasks[0])
-                stream = prefetcher.run(tasks)
+                stream = pool.run(tasks)
                 try:
                     for _i, _j, buffered in plan:
                         engine._crash_point("mid-scatter")
@@ -150,6 +157,9 @@ def run_sciu_round(engine: "GraphSDEngine") -> VertexSubset:
                         edges_processed += block.count
                 finally:
                     stream.close()
+                # Only a cleanly consumed round earns the K-lane credit;
+                # faulted/crashed rounds keep their raw serial charges.
+                pool.finish(region)
     except FaultError as exc:
         if carried_backup is not None:
             engine.acc_next, engine.touched_next = carried_backup

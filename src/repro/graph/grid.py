@@ -11,7 +11,7 @@ sub-block edges are sorted by source, giving the CSR-style offset index
 ``index(i, j)`` that the on-demand I/O model uses to locate one vertex's
 edges.
 
-Two on-disk encodings share this layout (see ``docs/STORAGE.md``):
+Three on-disk encodings share this layout (see ``docs/STORAGE.md``):
 
 **raw** (format 1)
     packed global edge records in grid order: ``(src: uint32,
@@ -41,6 +41,24 @@ Two on-disk encodings share this layout (see ``docs/STORAGE.md``):
     transfer (like checksum verification), so the byte shrink directly
     shrinks charged I/O time.
 
+**compact3** (format 3)
+    the compact layout with the *metadata* compressed too — exactly the
+    bytes the on-demand (selective) path reads before it touches an edge
+    record:
+
+    * ``.idx`` offsets are stored per block in the narrowest unsigned
+      dtype that holds the block's edge count (offsets are already
+      block-relative deltas from the block's base, so their range is
+      ``0..count``), instead of flat ``int64`` — a 2-8x shrink of every
+      index scan, span and gather;
+    * destination locals use a *per-block* narrowest dtype (from the
+      block's actual maximum ``dst_local``) rather than format 2's
+      per-column dtype, recorded in the meta as ``dst_dtype_codes``.
+
+    Decoded offsets and edges are bit-identical ``int64`` /
+    :class:`EdgeBlock` values — request counts are unchanged, only the
+    byte volume shrinks.
+
 Files (all through :class:`~repro.storage.blockfile.ArrayFile`):
 
 ``{prefix}.edges``
@@ -49,10 +67,12 @@ Files (all through :class:`~repro.storage.blockfile.ArrayFile`):
     (:data:`~repro.storage.blockfile.BYTE_DTYPE`) and address blocks by
     byte ranges, so CRC sidecars and fault injection compose unchanged.
 ``{prefix}.idx``
-    per-block CSR offsets, ``int64``, concatenated in storage order;
-    block ``(i, j)``'s slice has ``interval_size(i) + 1`` entries of
+    per-block CSR offsets concatenated in storage order; block
+    ``(i, j)``'s slice has ``interval_size(i) + 1`` entries of
     block-relative offsets. Absent when the store is built unindexed
-    (the Lumos baseline's representation). Identical in both encodings.
+    (the Lumos baseline's representation). Stored as flat ``int64``
+    through format 2; as per-block narrowest-uint byte columns in
+    compact3 (the file is then opened as a byte stream).
 
 Metadata (interval boundaries, per-block edge counts and file offsets,
 the format version, and — for compact stores — the per-block header
@@ -82,10 +102,20 @@ EDGE_WEIGHTED_DTYPE = np.dtype([("src", np.uint32), ("dst", np.uint32), ("wgt", 
 #: file. An unknown version is a hard, readable error on open.
 ENCODING_RAW = "raw"
 ENCODING_COMPACT = "compact"
+ENCODING_COMPACT3 = "compact3"
 FORMAT_RAW = 1
 FORMAT_COMPACT = 2
-SUPPORTED_FORMATS: Dict[int, str] = {FORMAT_RAW: ENCODING_RAW, FORMAT_COMPACT: ENCODING_COMPACT}
+FORMAT_COMPACT3 = 3
+SUPPORTED_FORMATS: Dict[int, str] = {
+    FORMAT_RAW: ENCODING_RAW,
+    FORMAT_COMPACT: ENCODING_COMPACT,
+    FORMAT_COMPACT3: ENCODING_COMPACT3,
+}
 ENCODINGS = tuple(SUPPORTED_FORMATS.values())
+_FORMAT_BY_ENCODING = {name: fmt for fmt, name in SUPPORTED_FORMATS.items()}
+#: Encodings that share the compact payload layout (run-length headers +
+#: packed local records); compact3 additionally compresses the metadata.
+_COMPACT_ENCODINGS = (ENCODING_COMPACT, ENCODING_COMPACT3)
 
 #: Little-endian unsigned dtypes by itemsize, the compact encoding's menu.
 _UINT_BY_ITEMSIZE = {1: np.dtype("<u1"), 2: np.dtype("<u2"), 4: np.dtype("<u4")}
@@ -143,6 +173,7 @@ class GridStore:
         indexed: bool,
         encoding: str = ENCODING_RAW,
         count_codes: Optional[np.ndarray] = None,
+        dst_codes: Optional[np.ndarray] = None,
     ) -> None:
         require(encoding in ENCODINGS, f"unknown grid encoding {encoding!r}")
         self.device = device
@@ -156,24 +187,35 @@ class GridStore:
         self.encoding = encoding
 
         sizes = intervals.sizes()
-        if encoding == ENCODING_COMPACT:
+        if encoding in _COMPACT_ENCODINGS:
             require(indexed, "compact encoding requires an indexed (source-sorted) grid")
             require(count_codes is not None, "compact encoding requires count_codes")
             self._count_codes = np.ascontiguousarray(count_codes, dtype=np.int64)
             require(self._count_codes.shape == (P, P), "count_codes must be P x P")
+            if encoding == ENCODING_COMPACT3:
+                require(dst_codes is not None, "compact3 encoding requires dst_codes")
+                self._dst_codes = np.ascontiguousarray(dst_codes, dtype=np.int64)
+                require(self._dst_codes.shape == (P, P), "dst_codes must be P x P")
+            else:
+                self._dst_codes = None
             # Encoded bytes of block (i, j): run-length header (one entry
             # per vertex of interval i) + packed (dst_local, [wgt]) records.
             rec_sizes = np.array(
-                [self._record_dtype(j).itemsize for j in range(P)], dtype=np.int64
+                [
+                    [self._record_dtype_at(i, j).itemsize for j in range(P)]
+                    for i in range(P)
+                ],
+                dtype=np.int64,
             )
             header = sizes[:, None] * self._count_codes
             self._block_bytes = np.where(
                 self.block_counts > 0,
-                header + self.block_counts * rec_sizes[None, :],
+                header + self.block_counts * rec_sizes,
                 0,
             ).astype(np.int64)
         else:
             self._count_codes = None
+            self._dst_codes = None
             edge_dtype = EDGE_WEIGHTED_DTYPE if has_weights else EDGE_UNWEIGHTED_DTYPE
             self._block_bytes = self.block_counts * edge_dtype.itemsize
 
@@ -188,21 +230,41 @@ class GridStore:
         self._block_byte_start = byte_starts.reshape(P, P).T.copy()
 
         if indexed:
+            # compact3 stores each block's offsets in its narrowest uint
+            # (offsets range 0..count); earlier formats use flat int64.
+            # _index_start is in *file items*: entries for the int64
+            # file, bytes for compact3's byte file.
+            if encoding == ENCODING_COMPACT3:
+                self._idx_codes = np.empty((P, P), dtype=np.int64)
+                for i in range(P):
+                    for j in range(P):
+                        self._idx_codes[i, j] = _narrowest_uint(
+                            int(self.block_counts[i, j])
+                        ).itemsize
+            else:
+                self._idx_codes = None
             idx_lens = np.empty(P * P, dtype=np.int64)
             for j in range(P):
                 for i in range(P):
-                    idx_lens[j * P + i] = sizes[i] + 1
+                    entries = sizes[i] + 1
+                    if self._idx_codes is not None:
+                        entries *= self._idx_codes[i, j]
+                    idx_lens[j * P + i] = entries
             idx_starts = np.concatenate(([0], np.cumsum(idx_lens)[:-1]))
             self._index_start = idx_starts.reshape(P, P).T.copy()  # [i, j]
+            self._index_items_total = int(idx_lens.sum())
         else:
+            self._idx_codes = None
             self._index_start = None
+            self._index_items_total = 0
 
-        if encoding == ENCODING_COMPACT:
+        if encoding in _COMPACT_ENCODINGS:
             self._edges_file = device.array_file(f"{prefix}.edges", BYTE_DTYPE)
         else:
             edge_dtype = EDGE_WEIGHTED_DTYPE if has_weights else EDGE_UNWEIGHTED_DTYPE
             self._edges_file = device.array_file(f"{prefix}.edges", edge_dtype)
-        self._idx_file = device.array_file(f"{prefix}.idx", INDEX_DTYPE) if indexed else None
+        idx_dtype = BYTE_DTYPE if encoding == ENCODING_COMPACT3 else INDEX_DTYPE
+        self._idx_file = device.array_file(f"{prefix}.idx", idx_dtype) if indexed else None
 
     # -- compact-encoding dtypes ------------------------------------------
 
@@ -211,9 +273,28 @@ class GridStore:
         width = self.intervals.size(j)
         return _narrowest_uint(max(0, width - 1))
 
+    def _dst_dtype_at(self, i: int, j: int) -> np.dtype:
+        """Local-destination dtype of block ``(i, j)``.
+
+        Per-column (interval width) through format 2; compact3 narrows
+        per block using the recorded ``dst_dtype_codes``.
+        """
+        if self._dst_codes is not None:
+            code = int(self._dst_codes[i, j])
+            require(code in _UINT_BY_ITEMSIZE, f"block ({i},{j}): bad dst dtype code {code}")
+            return _UINT_BY_ITEMSIZE[code]
+        return self._dst_dtype(j)
+
     def _record_dtype(self, j: int) -> np.dtype:
         """Packed per-edge record dtype of column ``j`` (compact encoding)."""
         fields = [("dst", self._dst_dtype(j))]
+        if self.has_weights:
+            fields.append(("wgt", np.dtype("<f4")))
+        return np.dtype(fields)
+
+    def _record_dtype_at(self, i: int, j: int) -> np.dtype:
+        """Packed per-edge record dtype of block ``(i, j)``."""
+        fields = [("dst", self._dst_dtype_at(i, j))]
         if self.has_weights:
             fields.append(("wgt", np.dtype("<f4")))
         return np.dtype(fields)
@@ -222,6 +303,12 @@ class GridStore:
         code = int(self._count_codes[i, j])
         require(code in _UINT_BY_ITEMSIZE, f"block ({i},{j}): bad count dtype code {code}")
         return _UINT_BY_ITEMSIZE[code]
+
+    def _idx_dtype(self, i: int, j: int) -> np.dtype:
+        """On-disk offset dtype of block ``(i, j)``'s index slice."""
+        if self._idx_codes is None:
+            return INDEX_DTYPE
+        return _UINT_BY_ITEMSIZE[int(self._idx_codes[i, j])]
 
     # -- construction ------------------------------------------------------
 
@@ -242,9 +329,11 @@ class GridStore:
         edges are grouped into sub-blocks but left unsorted inside, which
         is cheaper to build but cannot support a per-vertex index
         (``indexed`` is forced off). ``encoding="compact"`` writes the
-        format-2 layout (see module docstring); it requires the sorted,
-        indexed representation because the run-length headers are the
-        per-vertex degrees the sort exposes.
+        format-2 layout (see module docstring) and ``"compact3"`` the
+        format-3 layout (compact payload + narrowest-uint index and
+        per-block dst widths); both require the sorted, indexed
+        representation because the run-length headers are the per-vertex
+        degrees the sort exposes.
         """
         require(
             intervals.num_vertices == edges.num_vertices,
@@ -254,7 +343,7 @@ class GridStore:
         if not sort_within_blocks:
             indexed = False
         require(
-            encoding != ENCODING_COMPACT or (indexed and sort_within_blocks),
+            encoding not in _COMPACT_ENCODINGS or (indexed and sort_within_blocks),
             "compact encoding requires sort_within_blocks=True and indexed=True",
         )
         P = intervals.P
@@ -273,13 +362,15 @@ class GridStore:
         counts_by_key = np.bincount(key, minlength=P * P).astype(np.int64)
         block_counts = counts_by_key.reshape(P, P).T.copy()  # [i, j]
 
-        if encoding == ENCODING_COMPACT:
+        if encoding in _COMPACT_ENCODINGS:
             count_codes = np.zeros((P, P), dtype=np.int64)
-            store = None  # created after the codes are known
+            dst_codes = np.ones((P, P), dtype=np.int64)  # empty blocks: uint8
             payload_parts: List[np.ndarray] = []
-            # First pass: per-block header dtypes (needs per-vertex degrees).
+            # First pass: per-block header (and, for compact3, dst)
+            # dtypes — needs per-vertex degrees / actual local maxima.
             pos = 0
             for j in range(P):
+                lo_j, _hi_j = intervals.bounds(j)
                 for i in range(P):
                     cnt = int(block_counts[i, j])
                     if cnt == 0:
@@ -290,6 +381,9 @@ class GridStore:
                         minlength=hi_i - lo_i,
                     )
                     count_codes[i, j] = _narrowest_uint(int(vcounts.max())).itemsize
+                    dst_codes[i, j] = _narrowest_uint(
+                        int(dst[pos : pos + cnt].max()) - lo_j
+                    ).itemsize
                     pos += cnt
             store = cls(
                 device,
@@ -298,17 +392,18 @@ class GridStore:
                 block_counts,
                 edges.has_weights,
                 indexed,
-                encoding=ENCODING_COMPACT,
+                encoding=encoding,
                 count_codes=count_codes,
+                dst_codes=dst_codes if encoding == ENCODING_COMPACT3 else None,
             )
             pos = 0
             for j in range(P):
                 lo_j, _hi_j = intervals.bounds(j)
-                rec_dtype = store._record_dtype(j)
                 for i in range(P):
                     cnt = int(block_counts[i, j])
                     if cnt == 0:
                         continue
+                    rec_dtype = store._record_dtype_at(i, j)
                     lo_i, hi_i = intervals.bounds(i)
                     vcounts = np.bincount(
                         src[pos : pos + cnt].astype(np.int64) - lo_i,
@@ -356,10 +451,19 @@ class GridStore:
                     offsets = np.searchsorted(
                         block_src, np.arange(lo, hi + 1, dtype=np.int64)
                     ).astype(INDEX_DTYPE)
-                    idx_parts.append(offsets)
+                    if encoding == ENCODING_COMPACT3:
+                        # Narrowest-uint per block: offsets are block-
+                        # relative, so the block's edge count bounds them.
+                        packed = offsets.astype(store._idx_dtype(i, j))
+                        idx_parts.append(
+                            np.frombuffer(packed.tobytes(), dtype=BYTE_DTYPE)
+                        )
+                    else:
+                        idx_parts.append(offsets)
                     pos += cnt
+            empty_dtype = BYTE_DTYPE if encoding == ENCODING_COMPACT3 else INDEX_DTYPE
             store._idx_file.write(
-                np.concatenate(idx_parts) if idx_parts else np.empty(0, dtype=INDEX_DTYPE)
+                np.concatenate(idx_parts) if idx_parts else np.empty(0, dtype=empty_dtype)
             )
 
         store._write_meta()
@@ -368,15 +472,17 @@ class GridStore:
     def _write_meta(self) -> None:
         meta = {
             "prefix": self.prefix,
-            "format": FORMAT_COMPACT if self.encoding == ENCODING_COMPACT else FORMAT_RAW,
+            "format": _FORMAT_BY_ENCODING[self.encoding],
             "encoding": self.encoding,
             "boundaries": self.intervals.boundaries.tolist(),
             "block_counts": self.block_counts.tolist(),
             "has_weights": self.has_weights,
             "indexed": self.indexed,
         }
-        if self.encoding == ENCODING_COMPACT:
+        if self.encoding in _COMPACT_ENCODINGS:
             meta["count_dtype_codes"] = self._count_codes.tolist()
+        if self.encoding == ENCODING_COMPACT3:
+            meta["dst_dtype_codes"] = self._dst_codes.tolist()
         self.device.write_meta_text(f"{self.prefix}.meta.json", json.dumps(meta))
 
     @classmethod
@@ -406,12 +512,19 @@ class GridStore:
             f"grid {prefix!r}: meta declares encoding {declared!r} but format {fmt}",
         )
         count_codes = None
-        if encoding == ENCODING_COMPACT:
+        dst_codes = None
+        if encoding in _COMPACT_ENCODINGS:
             require(
                 "count_dtype_codes" in meta,
                 f"grid {prefix!r}: compact meta is missing count_dtype_codes",
             )
             count_codes = np.asarray(meta["count_dtype_codes"], dtype=np.int64)
+        if encoding == ENCODING_COMPACT3:
+            require(
+                "dst_dtype_codes" in meta,
+                f"grid {prefix!r}: compact3 meta is missing dst_dtype_codes",
+            )
+            dst_codes = np.asarray(meta["dst_dtype_codes"], dtype=np.int64)
         intervals = VertexIntervals(np.asarray(meta["boundaries"], dtype=np.int64))
         return cls(
             device,
@@ -422,6 +535,7 @@ class GridStore:
             bool(meta["indexed"]),
             encoding=encoding,
             count_codes=count_codes,
+            dst_codes=dst_codes,
         )
 
     # -- shape/metadata accessors -------------------------------------
@@ -448,7 +562,7 @@ class GridStore:
         :meth:`column_nbytes`, :attr:`total_edge_bytes`, or
         :attr:`adjacency_bytes_per_edge` instead.
         """
-        if self.encoding == ENCODING_COMPACT:
+        if self.encoding in _COMPACT_ENCODINGS:
             raise RuntimeError(
                 "compact grid stores have no global edge record size; use "
                 "block_nbytes/column_nbytes/total_edge_bytes/adjacency_bytes_per_edge"
@@ -484,6 +598,19 @@ class GridStore:
         column for compact. Averaged edge-weighted across columns for
         the scheduler's ``S_seq``/``S_ran`` estimate.
         """
+        if self.encoding == ENCODING_COMPACT3:
+            # Per-block record sizes: edge-weighted mean over blocks.
+            rec_sizes = np.array(
+                [
+                    [self._record_dtype_at(i, j).itemsize for j in range(self.P)]
+                    for i in range(self.P)
+                ],
+                dtype=np.float64,
+            )
+            total = self.total_edges
+            if total == 0:
+                return float(rec_sizes.mean()) if rec_sizes.size else 0.0
+            return float((self.block_counts * rec_sizes).sum() / total)
         if self.encoding != ENCODING_COMPACT:
             return float(self._edges_file.dtype.itemsize)
         col_edges = self.block_counts.sum(axis=0)
@@ -496,10 +623,36 @@ class GridStore:
         return float((col_edges * rec_sizes).sum() / total)
 
     def selective_record_bytes(self, j: int) -> int:
-        """Per-edge payload bytes of a selective load in column ``j``."""
+        """Per-edge payload bytes of a selective load in column ``j``.
+
+        For compact3 this is the column's widest per-block record (an
+        upper bound — actual loads use each block's own width).
+        """
+        if self.encoding == ENCODING_COMPACT3:
+            return int(
+                max(self._record_dtype_at(i, j).itemsize for i in range(self.P))
+            )
         if self.encoding == ENCODING_COMPACT:
             return int(self._record_dtype(j).itemsize)
         return int(self._edges_file.dtype.itemsize)
+
+    def index_entry_bytes(self, i: int) -> int:
+        """Per-entry on-disk index bytes the scheduler should price for
+        row ``i``: 8 (``INDEX_DTYPE``) through format 2, the row's widest
+        per-block offset width in compact3 (a safe upper bound; actual
+        reads use each block's own width)."""
+        if self._idx_codes is None:
+            return int(INDEX_DTYPE.itemsize)
+        return int(self._idx_codes[i, :].max())
+
+    @property
+    def index_total_bytes(self) -> int:
+        """Total on-disk bytes of the ``.idx`` file (0 when unindexed)."""
+        if not self.indexed:
+            return 0
+        if self._idx_codes is not None:
+            return self._index_items_total  # byte-addressed file
+        return self._index_items_total * int(INDEX_DTYPE.itemsize)
 
     def block_edge_count(self, i: int, j: int) -> int:
         return int(self.block_counts[i, j])
@@ -555,7 +708,7 @@ class GridStore:
             f"block ({i},{j}): corrupt compact header (run lengths sum to "
             f"{int(vcounts.sum())}, metadata says {cnt} edges)",
         )
-        records = payload[header_bytes:].view(self._record_dtype(j))
+        records = payload[header_bytes:].view(self._record_dtype_at(i, j))
         src = np.repeat(np.arange(lo_i, hi_i, dtype=VERTEX_DTYPE), vcounts)
         dst = records["dst"].astype(VERTEX_DTYPE) + VERTEX_DTYPE.type(lo_j)
         wgt = records["wgt"].astype(np.float32) if self.has_weights else None
@@ -563,7 +716,7 @@ class GridStore:
 
     def load_block(self, i: int, j: int) -> EdgeBlock:
         """Sequentially read all edges of sub-block ``(i, j)``."""
-        if self.encoding == ENCODING_COMPACT:
+        if self.encoding in _COMPACT_ENCODINGS:
             start = int(self._block_byte_start[i, j])
             payload = self._edges_file.read_slice(
                 start, self.block_nbytes(i, j), sequential=True
@@ -585,7 +738,7 @@ class GridStore:
         require(0 <= i_lo <= i_hi <= self.P, "bad block range")
         if i_lo == i_hi:
             return []
-        if self.encoding == ENCODING_COMPACT:
+        if self.encoding in _COMPACT_ENCODINGS:
             start = int(self._block_byte_start[i_lo, j])
             nbytes = [self.block_nbytes(i, j) for i in range(i_lo, i_hi)]
             payload = self._edges_file.read_slice(start, int(sum(nbytes)), sequential=True)
@@ -614,10 +767,20 @@ class GridStore:
     # -- selective loads (the on-demand I/O model) ------------------------
 
     def read_block_index(self, i: int, j: int) -> np.ndarray:
-        """Sequentially read the full offset index of sub-block ``(i, j)``."""
+        """Sequentially read the full offset index of sub-block ``(i, j)``.
+
+        Always returns ``int64`` offsets: compact3's narrowest-uint
+        columns are widened after the (smaller) read, so callers see
+        identical values in every format.
+        """
         self._require_indexed()
         start = int(self._index_start[i, j])
-        return self._idx_file.read_slice(start, self.intervals.size(i) + 1, sequential=True)
+        entries = self.intervals.size(i) + 1
+        if self._idx_codes is not None:
+            code = int(self._idx_codes[i, j])
+            payload = self._idx_file.read_slice(start, entries * code, sequential=True)
+            return payload.view(self._idx_dtype(i, j)).astype(INDEX_DTYPE)
+        return self._idx_file.read_slice(start, entries, sequential=True)
 
     def read_index_span(self, i: int, j: int, lo_local: int, hi_local: int) -> np.ndarray:
         """Sequentially read index entries ``[lo_local, hi_local]`` (inclusive
@@ -631,6 +794,13 @@ class GridStore:
         self._require_indexed()
         size = self.intervals.size(i)
         require(0 <= lo_local <= hi_local <= size, "bad index span")
+        if self._idx_codes is not None:
+            code = int(self._idx_codes[i, j])
+            start = int(self._index_start[i, j]) + lo_local * code
+            payload = self._idx_file.read_slice(
+                start, (hi_local - lo_local + 1) * code, sequential=True
+            )
+            return payload.view(self._idx_dtype(i, j)).astype(INDEX_DTYPE)
         start = int(self._index_start[i, j]) + lo_local
         return self._idx_file.read_slice(start, hi_local - lo_local + 1, sequential=True)
 
@@ -645,6 +815,14 @@ class GridStore:
         if local_ids.size == 0:
             return np.empty((0, 2), dtype=INDEX_DTYPE)
         start = int(self._index_start[i, j])
+        if self._idx_codes is not None:
+            code = int(self._idx_codes[i, j])
+            payload = self._idx_file.read_gather(
+                start + local_ids * code,
+                np.full(local_ids.shape, 2 * code, dtype=np.int64),
+            )
+            pairs = payload.view(self._idx_dtype(i, j)).astype(INDEX_DTYPE)
+            return pairs.reshape(-1, 2)
         pairs = self._idx_file.read_gather(
             start + local_ids, np.full(local_ids.shape, 2, dtype=np.int64)
         )
@@ -681,10 +859,10 @@ class GridStore:
         per_vertex = offsets_pairs[:, 1] - offsets_pairs[:, 0]
         require(bool(np.all(per_vertex >= 0)), "corrupt index: negative edge counts")
 
-        if self.encoding == ENCODING_COMPACT:
+        if self.encoding in _COMPACT_ENCODINGS:
             lo_i, hi_i = self.intervals.bounds(i)
             lo_j, _ = self.intervals.bounds(j)
-            rec_dtype = self._record_dtype(j)
+            rec_dtype = self._record_dtype_at(i, j)
             rec_size = rec_dtype.itemsize
             base = int(self._block_byte_start[i, j]) + (hi_i - lo_i) * int(
                 self._count_codes[i, j]
@@ -773,7 +951,7 @@ class GridStore:
 
     def read_all_sources(self) -> np.ndarray:
         """One full scan returning every edge's source id (context building)."""
-        if self.encoding == ENCODING_COMPACT:
+        if self.encoding in _COMPACT_ENCODINGS:
             data = self._edges_file.read_all()
             parts: List[np.ndarray] = []
             for (i, j) in self.iter_blocks_dst_major():

@@ -35,6 +35,7 @@ from repro.storage.faults import (
     TransientIOError,
     flip_bit,
 )
+from repro.storage.gatherpool import GatherPool
 from repro.storage.iostats import IOStats
 from repro.storage.pagecache import PageCache, PageCacheStats
 from repro.storage.prefetch import BlockPrefetcher
@@ -57,6 +58,7 @@ __all__ = [
     "SSD_PROFILE",
     "NVME_PROFILE",
     "DEFAULT_MACHINE",
+    "GatherPool",
     "IOStats",
     "PageCache",
     "BlockPrefetcher",

@@ -50,6 +50,14 @@ class IOStats:
     prefetch_hits: int = 0
     prefetch_wasted: int = 0
     buffer_hit_bytes: int = 0
+    # Selective-gather pool observability (see repro.storage.gatherpool):
+    # merged runs routed through the lane model, cumulative modeled busy
+    # time across lanes, and the deepest any lane queue got. The peak is
+    # max-tracked, so per-phase subtraction of snapshots is meaningless
+    # for it (harmless: equivalence checks compare absolute values).
+    gather_runs_issued: int = 0
+    gather_lane_busy_seconds: float = 0.0
+    gather_queue_peak: int = 0
 
     # -- derived -----------------------------------------------------------
 
@@ -90,7 +98,7 @@ class IOStats:
         """An independent copy of the current counters."""
         return IOStats(**{f.name: getattr(self, f.name) for f in fields(self)})
 
-    def to_dict(self) -> Dict[str, int]:
+    def to_dict(self) -> Dict[str, float]:
         """Every raw counter by field name (stable JSON form)."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
 

@@ -1,0 +1,19 @@
+"""Trace-driven auto-tuning: fit §4.1 cost constants, recommend knobs.
+
+See docs/TUNING.md for the end-to-end workflow: trace a run with
+``--trace``, fit with ``graphsd tune``, feed the profile back with
+``--autotune``.
+"""
+
+from repro.tune.fit import AuditSample, FitReport, fit_profile, load_audit_samples
+from repro.tune.profile import PROFILE_VERSION, Recommendation, TunedProfile
+
+__all__ = [
+    "AuditSample",
+    "FitReport",
+    "fit_profile",
+    "load_audit_samples",
+    "PROFILE_VERSION",
+    "Recommendation",
+    "TunedProfile",
+]

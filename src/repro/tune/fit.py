@@ -1,0 +1,252 @@
+"""Fit §4.1 cost-model constants from scheduler-decision audit logs.
+
+PR 5's tracer records, for every adaptive decision, the predicted cost
+of both I/O models and the simulated cost the decided iteration actually
+charged (``type == "audit"`` events in the trace JSONL). This module
+closes the loop: it regresses predicted-vs-actual per model bucket and
+emits a :class:`~repro.tune.profile.TunedProfile` the engine can feed
+back into :meth:`~repro.core.scheduler.StateAwareScheduler.select`.
+
+The fit is a deterministic least-squares-through-origin per bucket::
+
+    scale = sum(pred * actual) / sum(pred ** 2)
+
+— the multiplier minimizing ``sum((scale * pred - actual)^2)``. Buckets:
+
+* **full**: decisions that chose (and ran) the full model; predicted
+  cost is ``c_full``.
+* **on_demand**: decisions that chose on-demand *and actually ran SCIU*
+  — fault-degraded rounds executed FCIU, so their actual cost says
+  nothing about ``C_r`` and is excluded.
+
+Knob recommendations are simple share-based heuristics over the same
+records (documented in docs/TUNING.md):
+
+* ``gather_lanes`` from the random share of selective bytes,
+  ``ran_share = sum(s_ran) / sum(s_ran + s_seq)`` over on-demand
+  decisions — random-dominated gathers have the most independent
+  requests to overlap (>=0.75 -> 8, >=0.5 -> 4, >=0.25 -> 2, else 1);
+* ``prefetch_depth`` from the I/O share of simulated time,
+  ``io_share = sum(actual_io) / sum(actual_sim)`` — I/O-bound runs
+  benefit from lookahead (>=0.9 -> 4, >=0.5 -> 2, else 1).
+
+Fit traces with the *untuned* engine (no ``--autotune``): predictions in
+an already-scaled run would regress the residual, not the model.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.tune.profile import Recommendation, TunedProfile
+
+
+@dataclass(frozen=True)
+class AuditSample:
+    """One closed scheduler decision, joined with its trace's run meta."""
+
+    program: str
+    num_vertices: int
+    num_edges: int
+    chosen: str
+    actual_model: str
+    c_full: float
+    c_on_demand: float
+    predicted_seconds: float
+    actual_sim_seconds: float
+    actual_io_seconds: float
+    s_seq_bytes: float
+    s_ran_bytes: float
+
+
+@dataclass
+class FitReport:
+    """Everything ``graphsd tune`` prints alongside the profile."""
+
+    profile: TunedProfile
+    samples: List[AuditSample] = field(default_factory=list)
+    skipped_open: int = 0
+    skipped_degraded: int = 0
+
+    def render(self) -> str:
+        p = self.profile
+        lines = [
+            f"tuned profile (machine={p.machine})",
+            f"  full_cost_scale       {p.full_cost_scale:.6f}  "
+            f"({p.samples_full} decisions)",
+            f"  on_demand_cost_scale  {p.on_demand_cost_scale:.6f}  "
+            f"({p.samples_on_demand} decisions)",
+            f"  audit records used    {len(self.samples)}"
+            f"  (open skipped: {self.skipped_open},"
+            f" fault-degraded skipped: {self.skipped_degraded})",
+        ]
+        if p.recommendations:
+            lines.append("  recommendations:")
+            for rec in p.recommendations:
+                lines.append(
+                    f"    {rec.program} |V|={rec.num_vertices} |E|={rec.num_edges}: "
+                    f"gather_lanes={rec.gather_lanes} "
+                    f"prefetch_depth={rec.prefetch_depth} "
+                    f"({rec.decisions} decisions)"
+                )
+        else:
+            lines.append("  recommendations: none (no on-demand decisions found)")
+        return "\n".join(lines)
+
+
+def _required_float(event: Dict[str, Any], key: str) -> float:
+    value = event.get(key)
+    if value is None:
+        raise ValueError(f"audit event missing {key!r}")
+    return float(value)
+
+
+def load_audit_samples(path: str) -> Tuple[List[AuditSample], int, int]:
+    """Parse one trace JSONL file into closed audit samples.
+
+    Returns ``(samples, skipped_open, skipped_degraded)``. Raises
+    :class:`ValueError` on files that are not traces (no meta header).
+    """
+    meta: Optional[Dict[str, Any]] = None
+    samples: List[AuditSample] = []
+    skipped_open = 0
+    skipped_degraded = 0
+    # charged-io-ok: host-side trace file, not simulated graph I/O
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            etype = event.get("type")
+            if etype == "meta":
+                meta = event
+                continue
+            if etype != "audit":
+                continue
+            if meta is None:
+                raise ValueError(f"{path}: audit event before trace meta header")
+            if event.get("actual_sim_seconds") is None:
+                skipped_open += 1
+                continue
+            chosen = str(event.get("chosen"))
+            actual_model = str(event.get("actual_model"))
+            if chosen == "on_demand" and actual_model != "sciu":
+                # A degraded round ran FCIU; its cost is not evidence
+                # about the on-demand prediction.
+                skipped_degraded += 1
+                continue
+            samples.append(
+                AuditSample(
+                    program=str(meta.get("program", "?")),
+                    num_vertices=int(meta.get("num_vertices", 0)),
+                    num_edges=int(meta.get("num_edges", 0)),
+                    chosen=chosen,
+                    actual_model=actual_model,
+                    c_full=_required_float(event, "c_full"),
+                    c_on_demand=_required_float(event, "c_on_demand"),
+                    predicted_seconds=_required_float(event, "predicted_seconds"),
+                    actual_sim_seconds=_required_float(event, "actual_sim_seconds"),
+                    actual_io_seconds=_required_float(event, "actual_io_seconds"),
+                    s_seq_bytes=_required_float(event, "s_seq_bytes"),
+                    s_ran_bytes=_required_float(event, "s_ran_bytes"),
+                )
+            )
+    if meta is None:
+        raise ValueError(f"{path}: not a trace file (no meta header line)")
+    return samples, skipped_open, skipped_degraded
+
+
+def _fit_scale(pairs: Sequence[Tuple[float, float]]) -> float:
+    """Least squares through the origin; 1.0 when underdetermined."""
+    num = sum(pred * actual for pred, actual in pairs)
+    den = sum(pred * pred for pred, _ in pairs)
+    if den <= 0.0 or num <= 0.0:
+        return 1.0
+    return num / den
+
+
+def _recommend_lanes(ran_share: float) -> int:
+    if ran_share >= 0.75:
+        return 8
+    if ran_share >= 0.5:
+        return 4
+    if ran_share >= 0.25:
+        return 2
+    return 1
+
+
+def _recommend_depth(io_share: float) -> int:
+    if io_share >= 0.9:
+        return 4
+    if io_share >= 0.5:
+        return 2
+    return 1
+
+
+def fit_profile(paths: Iterable[str], machine: str = "default") -> FitReport:
+    """Fit a :class:`TunedProfile` from one or more trace JSONL files."""
+    samples: List[AuditSample] = []
+    skipped_open = 0
+    skipped_degraded = 0
+    for path in paths:
+        got, s_open, s_degraded = load_audit_samples(path)
+        samples.extend(got)
+        skipped_open += s_open
+        skipped_degraded += s_degraded
+
+    full_pairs = [
+        (s.c_full, s.actual_sim_seconds) for s in samples if s.chosen == "full"
+    ]
+    od_pairs = [
+        (s.c_on_demand, s.actual_sim_seconds)
+        for s in samples
+        if s.chosen == "on_demand"
+    ]
+
+    # Knob recommendations, one per distinct (program, |V|, |E|) workload,
+    # in first-seen order (deterministic given the input file order).
+    recs: List[Recommendation] = []
+    seen: List[Tuple[str, int, int]] = []
+    for s in samples:
+        key = (s.program, s.num_vertices, s.num_edges)
+        if key not in seen:
+            seen.append(key)
+    for key in seen:
+        group = [s for s in samples if (s.program, s.num_vertices, s.num_edges) == key]
+        od = [s for s in group if s.chosen == "on_demand"]
+        if not od:
+            continue
+        sel_bytes = sum(s.s_ran_bytes + s.s_seq_bytes for s in od)
+        ran_share = sum(s.s_ran_bytes for s in od) / sel_bytes if sel_bytes else 0.0
+        sim_total = sum(s.actual_sim_seconds for s in group)
+        io_share = (
+            sum(s.actual_io_seconds for s in group) / sim_total if sim_total else 0.0
+        )
+        recs.append(
+            Recommendation(
+                program=key[0],
+                num_vertices=key[1],
+                num_edges=key[2],
+                gather_lanes=_recommend_lanes(ran_share),
+                prefetch_depth=_recommend_depth(io_share),
+                decisions=len(group),
+            )
+        )
+
+    profile = TunedProfile(
+        machine=machine,
+        full_cost_scale=_fit_scale(full_pairs),
+        on_demand_cost_scale=_fit_scale(od_pairs),
+        samples_full=len(full_pairs),
+        samples_on_demand=len(od_pairs),
+        recommendations=tuple(recs),
+    )
+    return FitReport(
+        profile=profile,
+        samples=samples,
+        skipped_open=skipped_open,
+        skipped_degraded=skipped_degraded,
+    )

@@ -1,0 +1,145 @@
+"""Tuned machine profiles: fitted cost-model scales + knob recommendations.
+
+A :class:`TunedProfile` is the artifact ``graphsd tune`` produces from
+scheduler-decision audit logs (see :mod:`repro.tune.fit` and
+docs/TUNING.md) and the control input the engine consumes: the fitted
+scales multiply the §4.1 cost predictions inside
+:meth:`~repro.core.scheduler.StateAwareScheduler.select`, and the
+per-workload recommendations pre-pick ``gather_lanes`` /
+``prefetch_depth`` for a (program, graph-size) pair.
+
+This module is deliberately dependency-free (stdlib + validation only):
+``core`` imports it, so it must not import ``core`` or ``obs``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.utils.validation import check_positive, require
+
+#: On-disk profile format; bumped on incompatible changes.
+PROFILE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Suggested knobs for one (program, graph-size) workload."""
+
+    program: str
+    num_vertices: int
+    num_edges: int
+    gather_lanes: int
+    prefetch_depth: int
+    #: Closed audit decisions backing this recommendation.
+    decisions: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive(self.gather_lanes, "gather_lanes")
+        check_positive(self.prefetch_depth, "prefetch_depth")
+
+    @property
+    def key(self) -> Tuple[str, int, int]:
+        return (self.program, self.num_vertices, self.num_edges)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "program": self.program,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "gather_lanes": self.gather_lanes,
+            "prefetch_depth": self.prefetch_depth,
+            "decisions": self.decisions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Recommendation":
+        return cls(
+            program=str(data["program"]),
+            num_vertices=int(data["num_vertices"]),
+            num_edges=int(data["num_edges"]),
+            gather_lanes=int(data["gather_lanes"]),
+            prefetch_depth=int(data["prefetch_depth"]),
+            decisions=int(data.get("decisions", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class TunedProfile:
+    """Fitted cost-model constants for one machine profile.
+
+    ``full_cost_scale`` / ``on_demand_cost_scale`` are least-squares
+    multipliers mapping the scheduler's predicted ``C_s`` / ``C_r`` onto
+    observed simulated cost (1.0 = trust the analytic model as-is; the
+    neutral default is float-exact: ``x * 1.0 == x``).
+    """
+
+    machine: str = "default"
+    full_cost_scale: float = 1.0
+    on_demand_cost_scale: float = 1.0
+    samples_full: int = 0
+    samples_on_demand: int = 0
+    recommendations: Tuple[Recommendation, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        check_positive(self.full_cost_scale, "full_cost_scale")
+        check_positive(self.on_demand_cost_scale, "on_demand_cost_scale")
+
+    # -- lookup ------------------------------------------------------------
+
+    def recommend(
+        self, program: str, num_vertices: int, num_edges: int
+    ) -> Optional[Recommendation]:
+        """The recommendation for an exactly matching workload, if any."""
+        for rec in self.recommendations:
+            if rec.key == (program, num_vertices, num_edges):
+                return rec
+        return None
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "profile_version": PROFILE_VERSION,
+            "machine": self.machine,
+            "full_cost_scale": self.full_cost_scale,
+            "on_demand_cost_scale": self.on_demand_cost_scale,
+            "samples_full": self.samples_full,
+            "samples_on_demand": self.samples_on_demand,
+            "recommendations": [rec.to_dict() for rec in self.recommendations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TunedProfile":
+        version = int(data.get("profile_version", PROFILE_VERSION))
+        require(
+            version == PROFILE_VERSION,
+            f"unsupported tuned-profile version {version} "
+            f"(this build reads version {PROFILE_VERSION})",
+        )
+        recs: List[Recommendation] = [
+            Recommendation.from_dict(entry) for entry in data.get("recommendations", [])
+        ]
+        return cls(
+            machine=str(data.get("machine", "default")),
+            full_cost_scale=float(data.get("full_cost_scale", 1.0)),
+            on_demand_cost_scale=float(data.get("on_demand_cost_scale", 1.0)),
+            samples_full=int(data.get("samples_full", 0)),
+            samples_on_demand=int(data.get("samples_on_demand", 0)),
+            recommendations=tuple(recs),
+        )
+
+    def save(self, path: str) -> None:
+        """Write the profile as pretty-printed JSON (stable key order)."""
+        # charged-io-ok: host-side tuning artifact, not simulated graph I/O
+        with open(path, "w") as f:
+            json.dump(self.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "TunedProfile":
+        # charged-io-ok: host-side tuning artifact, not simulated graph I/O
+        with open(path) as f:
+            return cls.from_dict(json.load(f))

@@ -138,6 +138,7 @@ class OverlapRegion:
         self.disk_seconds = 0.0
         self.cpu_seconds = 0.0
         self.fill_seconds = 0.0
+        self.disk_credit = 0.0
         self._closed = False
 
     # Called by SimClock.charge, under the clock lock.
@@ -151,6 +152,19 @@ class OverlapRegion:
         """Account pipeline-fill latency (I/O the consumer waits for)."""
         check_nonneg(seconds, "seconds")
         self.fill_seconds += seconds
+
+    def add_disk_credit(self, seconds: float) -> None:
+        """Credit DISK time hidden by intra-region lane parallelism.
+
+        The gather pool spreads independent random reads over K modeled
+        lanes; the time hidden that way shortens the region's effective
+        DISK timeline without rescaling any component charge. Only the
+        overlap term sees the credit — ``serial_seconds`` stays the raw
+        sum, so the region still can never beat plain serial accounting
+        by more than its real concurrency.
+        """
+        check_nonneg(seconds, "seconds")
+        self.disk_credit += seconds
 
     def measure_fill(self, task: Callable[[], _T]) -> Callable[[], _T]:
         """Wrap a prefetch task so its DISK charge is recorded as fill.
@@ -174,9 +188,10 @@ class OverlapRegion:
 
     @property
     def pipelined_seconds(self) -> float:
+        disk_eff = max(0.0, self.disk_seconds - self.disk_credit)
         return min(
             self.serial_seconds,
-            max(self.disk_seconds, self.cpu_seconds) + self.fill_seconds,
+            max(disk_eff, self.cpu_seconds) + self.fill_seconds,
         )
 
     @property
@@ -242,6 +257,18 @@ class SimClock:
         """Cumulative simulated time hidden by I/O–compute overlap."""
         with self._lock:
             return self._overlap_saved
+
+    def add_overlap_saving(self, seconds: float) -> None:
+        """Fold an externally computed overlap saving into the clock.
+
+        Used by the gather pool outside any :class:`OverlapRegion`
+        (pipeline disabled): lane-parallel disk time is hidden against
+        the same ``overlap_saved`` bucket the regions use, keeping
+        ``total == serial_total - overlap_saved`` exact.
+        """
+        check_nonneg(seconds, "seconds")
+        with self._lock:
+            self._overlap_saved += seconds
 
     def resource_snapshot(self) -> "Tuple[float, float, float]":
         """``(total, disk, cpu)`` simulated seconds under one lock hold.
