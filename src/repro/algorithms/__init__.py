@@ -19,7 +19,13 @@ from repro.algorithms.pagerank_delta import PageRankDelta
 from repro.algorithms.ppr import PersonalizedPageRank
 from repro.algorithms.sssp import SSSP
 from repro.algorithms.sswp import SSWP
-from repro.algorithms.registry import available_programs, make_program
+from repro.algorithms.registry import (
+    AlgorithmSpec,
+    available_programs,
+    get_spec,
+    make_program,
+    registered_program_classes,
+)
 
 __all__ = [
     "Combine",
@@ -34,6 +40,9 @@ __all__ = [
     "PersonalizedPageRank",
     "SSSP",
     "SSWP",
+    "AlgorithmSpec",
     "available_programs",
+    "get_spec",
     "make_program",
+    "registered_program_classes",
 ]

@@ -138,6 +138,16 @@ class VertexProgram:
         full I/O model unconditionally.
     ``max_iterations``
         hard iteration cap (``None`` = run to an empty frontier).
+    ``monotonic``
+        ``True`` when the program is a monotone fixpoint computation —
+        extra, early, or re-ordered relaxations never move the final
+        state past its fixpoint (MIN relaxations like SSSP/CC, and
+        delta-accumulating ADD programs whose contributions only refine
+        the result). Only monotonic programs are admitted to the
+        asynchronous execution mode (:mod:`repro.core.async_engine`);
+        power-iteration PageRank is the canonical non-monotonic case.
+        Every concrete program must declare this explicitly (asserted by
+        the registry test suite).
     """
 
     name: str = "abstract"
@@ -145,6 +155,7 @@ class VertexProgram:
     needs_weights: bool = False
     all_active: bool = False
     max_iterations: Optional[int] = None
+    monotonic: bool = False
     #: state arrays whose entries must be neutralized (set to the given
     #: value) for *inactive* vertices before a full-scan gather. Needed
     #: by delta-accumulating programs (PR-Delta), where an inactive

@@ -22,6 +22,7 @@ class BFS(VertexProgram):
     combine = Combine.MIN
     needs_weights = False
     all_active = False
+    monotonic = True  # MIN relaxation: unique bitwise fixpoint under any order
 
     def __init__(self, root: int = 0) -> None:
         require(root >= 0, f"root must be >= 0, got {root}")

@@ -25,6 +25,7 @@ class ConnectedComponents(VertexProgram):
     combine = Combine.MIN
     needs_weights = False
     all_active = False
+    monotonic = True  # MIN relaxation: unique bitwise fixpoint under any order
 
     def init_state(self, ctx: GraphContext) -> State:
         return {"value": np.arange(ctx.num_vertices, dtype=np.float64)}

@@ -28,6 +28,7 @@ class PageRank(VertexProgram):
     combine = Combine.ADD
     needs_weights = False
     all_active = True
+    monotonic = False  # power iteration: per-iteration averaging, no fixpoint monotonicity
 
     def __init__(self, damping: float = 0.85, iterations: int = 5) -> None:
         check_in_range(damping, 0.0, 1.0, "damping")

@@ -37,6 +37,7 @@ class PageRankDelta(VertexProgram):
     combine = Combine.ADD
     needs_weights = False
     all_active = False
+    monotonic = True  # residual deltas only refine the result toward the fixpoint
 
     #: state arrays that must read as "no contribution" for inactive
     #: sources in full-scan gathers: array name -> neutral value.

@@ -29,6 +29,7 @@ class PersonalizedPageRank(VertexProgram):
     combine = Combine.ADD
     needs_weights = False
     all_active = False
+    monotonic = True  # residual deltas only refine the result toward the fixpoint
 
     gated_arrays: Tuple[Tuple[str, float], ...] = (("delta", 0.0),)
 

@@ -2,12 +2,20 @@
 
 The CLI and the benchmark harness refer to algorithms by the short names
 the paper uses (PR, PR-D, CC, SSSP); this registry maps those names to
-program factories with keyword parameters.
+:class:`AlgorithmSpec` entries: a program factory with keyword
+parameters plus the program's declared *capabilities*. The one
+capability today is ``monotonic`` — whether the program computes a
+monotone fixpoint and is therefore admissible to the asynchronous
+execution mode (:mod:`repro.core.async_engine`). The flag is sourced
+from the program class itself (every class must declare it; the
+registry test suite asserts this), so the spec can never drift from the
+program's behavior.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Type
 
 from repro.algorithms.base import VertexProgram
 from repro.algorithms.bfs import BFS
@@ -18,32 +26,66 @@ from repro.algorithms.ppr import PersonalizedPageRank
 from repro.algorithms.sssp import SSSP
 from repro.algorithms.sswp import SSWP
 
-_FACTORIES: Dict[str, Callable[..., VertexProgram]] = {
-    "pagerank": PageRank,
-    "pr": PageRank,
-    "pagerank_delta": PageRankDelta,
-    "pr-d": PageRankDelta,
-    "prd": PageRankDelta,
-    "ppr": PersonalizedPageRank,
-    "cc": ConnectedComponents,
-    "sssp": SSSP,
-    "sswp": SSWP,
-    "bfs": BFS,
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered algorithm: factory, aliases, and capabilities."""
+
+    name: str
+    factory: Type[VertexProgram]
+    aliases: Tuple[str, ...] = ()
+
+    @property
+    def monotonic(self) -> bool:
+        """Whether the program may run under asynchronous execution.
+
+        Mirrors the program class's declared ``monotonic`` attribute —
+        the class is authoritative, the spec is the lookup surface.
+        """
+        return bool(self.factory.monotonic)
+
+
+_SPECS: Dict[str, AlgorithmSpec] = {
+    spec.name: spec
+    for spec in (
+        AlgorithmSpec("pagerank", PageRank, aliases=("pr",)),
+        AlgorithmSpec("pagerank_delta", PageRankDelta, aliases=("pr-d", "prd")),
+        AlgorithmSpec("ppr", PersonalizedPageRank),
+        AlgorithmSpec("cc", ConnectedComponents),
+        AlgorithmSpec("sssp", SSSP),
+        AlgorithmSpec("sswp", SSWP),
+        AlgorithmSpec("bfs", BFS),
+    )
+}
+
+_BY_ALIAS: Dict[str, AlgorithmSpec] = {
+    name: spec
+    for spec in _SPECS.values()
+    for name in (spec.name, *spec.aliases)
 }
 
 
 def available_programs() -> List[str]:
     """Canonical program names (one per algorithm, no aliases)."""
-    return ["pagerank", "pagerank_delta", "ppr", "cc", "sssp", "sswp", "bfs"]
+    return list(_SPECS)
 
 
-def make_program(name: str, **params) -> VertexProgram:
-    """Instantiate the program registered under ``name`` (case-insensitive)."""
+def get_spec(name: str) -> AlgorithmSpec:
+    """The :class:`AlgorithmSpec` registered under ``name`` or an alias."""
     key = name.strip().lower().replace(" ", "_")
     try:
-        factory = _FACTORIES[key]
+        return _BY_ALIAS[key]
     except KeyError:
         raise KeyError(
             f"unknown program {name!r}; available: {', '.join(available_programs())}"
         ) from None
-    return factory(**params)
+
+
+def registered_program_classes() -> List[Type[VertexProgram]]:
+    """The concrete program classes (one per canonical name)."""
+    return [spec.factory for spec in _SPECS.values()]
+
+
+def make_program(name: str, **params) -> VertexProgram:
+    """Instantiate the program registered under ``name`` (case-insensitive)."""
+    return get_spec(name).factory(**params)

@@ -28,6 +28,7 @@ class SSWP(VertexProgram):
     combine = Combine.MIN
     needs_weights = True
     all_active = False
+    monotonic = True  # MIN relaxation: unique bitwise fixpoint under any order
 
     def __init__(self, source: int = 0) -> None:
         require(source >= 0, f"source must be >= 0, got {source}")

@@ -28,7 +28,7 @@ from repro.baselines import (
     LumosEngine,
     XStreamEngine,
 )
-from repro.core import GraphSDConfig, GraphSDEngine, RunResult
+from repro.core import AsyncGraphSDEngine, GraphSDConfig, GraphSDEngine, RunResult
 from repro.core.engine import DEFAULT_PREFETCH_DEPTH
 from repro.core.engine_base import EngineBase
 from repro.datasets import load_dataset
@@ -94,7 +94,11 @@ class SystemSpec:
     make_engine: Callable[..., EngineBase]
 
 
-def _graphsd_engine(config: Optional[GraphSDConfig] = None, label: Optional[str] = None):
+def _graphsd_engine(
+    config: Optional[GraphSDConfig] = None,
+    label: Optional[str] = None,
+    engine_cls: type = GraphSDEngine,
+):
     def make(
         store: GridStore,
         machine: MachineProfile,
@@ -117,7 +121,7 @@ def _graphsd_engine(config: Optional[GraphSDConfig] = None, label: Optional[str]
         )
         if buffer_serves_selective is not None:
             cfg = replace(cfg, buffer_serves_selective=buffer_serves_selective)
-        return GraphSDEngine(store, machine, config=cfg, ctx=ctx, label=label)
+        return engine_cls(store, machine, config=cfg, ctx=ctx, label=label)
 
     return make
 
@@ -149,6 +153,11 @@ def _simple_engine(cls):
 
 SYSTEMS: Dict[str, SystemSpec] = {
     "graphsd": SystemSpec("graphsd", "graphsd", _graphsd_engine()),
+    "graphsd-async": SystemSpec(
+        "graphsd-async",
+        "graphsd",
+        _graphsd_engine(engine_cls=AsyncGraphSDEngine),
+    ),
     "graphsd-b1": SystemSpec(
         "graphsd-b1", "graphsd", _graphsd_engine(GraphSDConfig.baseline_b1(), "graphsd-b1")
     ),
@@ -204,6 +213,7 @@ class Harness:
         tuned_profile: Optional[TunedProfile] = None,
         encoding: str = ENCODING_RAW,
         trace_dir: Optional[str] = None,
+        async_mode: bool = False,
     ) -> None:
         if workspace is None:
             self._tmpdir = tempfile.mkdtemp(prefix="graphsd-bench-")
@@ -233,6 +243,10 @@ class Harness:
         #: representations (lumos, husgraph) always build raw grids —
         #: the compared systems do not have the compact layout.
         self.encoding = encoding
+        #: Route ``graphsd`` runs through the asynchronous priority-driven
+        #: engine (monotonic programs only; see
+        #: :mod:`repro.core.async_engine`). Baselines never run async.
+        self.async_mode = async_mode
         #: When set, every *executed* run writes a structured trace
         #: (docs/OBSERVABILITY.md) into this directory, named after its
         #: cell. Memoized cells execute once, so each unique cell yields
@@ -312,6 +326,7 @@ class Harness:
         gather_lanes: Optional[int] = None,
         buffer_serves_selective: Optional[bool] = None,
         trace_path: Optional[str] = None,
+        async_mode: Optional[bool] = None,
     ) -> RunResult:
         """Execute one (system, workload, dataset) cell.
 
@@ -346,6 +361,17 @@ class Harness:
             gather_lanes = self.gather_lanes
         if buffer_serves_selective is None:
             buffer_serves_selective = self.buffer_serves_selective
+        if async_mode is None:
+            async_mode = self.async_mode
+        if async_mode:
+            # ``--async`` routes the flagship system through the
+            # asynchronous engine; the ablation and baseline systems
+            # model synchronous designs and have no async counterpart.
+            require(
+                system in ("graphsd", "graphsd-async"),
+                f"{system} does not support async mode",
+            )
+            system = "graphsd-async"
         key = (
             system, workload_key, dataset, bool(pipeline), int(prefetch_depth),
             int(gather_lanes), buffer_serves_selective,

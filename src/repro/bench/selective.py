@@ -39,8 +39,14 @@ RECORD_ENCODINGS: Sequence[str] = ("compact", "compact3")
 BENCH_ID = "BENCH_5"
 
 #: IOStats counters that legitimately depend on the lane count: the
-#: greedy lane assignment changes per-lane queue depths, nothing else.
-GATHER_SCHEDULE_FIELDS: Sequence[str] = ("gather_queue_peak",)
+#: greedy lane assignment changes per-lane queue depths, and the busy
+#: total is the same set of task durations summed in lane order — equal
+#: mathematically, but float addition is order-sensitive, so the last
+#: ulp drifts with the partition. Nothing else may move.
+GATHER_SCHEDULE_FIELDS: Sequence[str] = (
+    "gather_queue_peak",
+    "gather_lane_busy_seconds",
+)
 
 
 def _lane_diff(base: RunResult, run: RunResult) -> List[str]:

@@ -134,6 +134,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
         encoding=args.encoding,
     )
     trace_path = args.trace if isinstance(args.trace, str) else None
+    if args.async_mode:
+        from repro.algorithms import get_spec
+
+        if args.workers is not None:
+            print(
+                "error: --async and --workers are mutually exclusive "
+                "(the cluster models synchronous BSP supersteps)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.system not in ("graphsd", "graphsd-async"):
+            print(
+                f"error: --async requires --system graphsd "
+                f"({args.system} models a synchronous design)",
+                file=sys.stderr,
+            )
+            return 2
+        spec = get_spec(WORKLOADS[args.algorithm].algorithm)
+        if not spec.monotonic:
+            print(
+                f"error: --async requires a monotonic algorithm; "
+                f"{spec.name} has no monotone fixed point "
+                "(see docs/PERFORMANCE.md, 'Asynchronous execution')",
+                file=sys.stderr,
+            )
+            return 2
     try:
         if args.workers is not None:
             if args.system != "graphsd":
@@ -170,7 +196,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
         else:
             result = harness.run(
-                args.system, args.algorithm, args.dataset, trace_path=trace_path
+                args.system,
+                args.algorithm,
+                args.dataset,
+                trace_path=trace_path,
+                async_mode=args.async_mode,
             )
     finally:
         if args.workspace is None:
@@ -213,6 +243,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "engine": result.engine,
             "program": result.program,
             "iterations": result.iterations,
+            "sweeps": result.sweeps,
             "converged": result.converged,
             "sim_seconds": result.sim_seconds,
             "io_seconds": result.io_seconds,
@@ -407,6 +438,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=False,
         help="overlap disk I/O with compute via the async prefetch pipeline "
         "(see docs/PERFORMANCE.md)",
+    )
+    p.add_argument(
+        "--async",
+        dest="async_mode",
+        action="store_true",
+        default=False,
+        help="priority-driven asynchronous execution (monotonic algorithms "
+        "only): process the hottest destination intervals first and let "
+        "updates propagate within a sweep; the fixed point is bitwise "
+        "identical to synchronous execution (see docs/PERFORMANCE.md)",
     )
     p.add_argument(
         "--prefetch-depth",

@@ -2,6 +2,9 @@
 
 * :class:`GraphSDEngine` + :class:`GraphSDConfig` — Algorithm 1 with all
   ablation switches (§5.4's -b1..-b4 variants, buffering on/off);
+* :class:`AsyncGraphSDEngine` — priority-driven asynchronous execution
+  for monotonic programs (fixed-point-equivalent to BSP, see
+  :mod:`repro.core.convergence`);
 * :class:`StateAwareScheduler` — the §4.1 cost-model-driven choice
   between the on-demand and full I/O access models;
 * :mod:`repro.core.sciu` / :mod:`repro.core.fciu` — Algorithms 2 and 3;
@@ -10,7 +13,13 @@
 * :class:`RunResult` — the uniform engine output record.
 """
 
+from repro.core.async_engine import AsyncGraphSDEngine
 from repro.core.buffer import SubBlockBuffer
+from repro.core.convergence import (
+    assert_fixed_point_equivalent,
+    fixed_point_diff,
+    require_async_capable,
+)
 from repro.core.engine import (
     DEFAULT_BUFFER_FRACTION,
     DEFAULT_PREFETCH_DEPTH,
@@ -32,6 +41,10 @@ __all__ = [
     "DEFAULT_PREFETCH_DEPTH",
     "GraphSDConfig",
     "GraphSDEngine",
+    "AsyncGraphSDEngine",
+    "assert_fixed_point_equivalent",
+    "fixed_point_diff",
+    "require_async_capable",
     "EngineBase",
     "IterationRecord",
     "RunResult",

@@ -1,0 +1,90 @@
+"""Fixed-point equivalence harness for asynchronous execution.
+
+The asynchronous engine's correctness contract is deliberately *weaker
+per iteration* and *stronger at the end* than BSP equivalence: sweeps
+visit intervals in priority order and propagate within-sweep, so
+per-iteration trajectories diverge from the synchronous engine by
+design — but for monotonic programs both schedules must land on the
+same fixed point, **bit for bit** (see :mod:`repro.core.async_engine`
+for why MIN-combine fixed points are order-independent down to the bit
+pattern, and why ADD-combine programs run the classic schedule).
+
+:func:`fixed_point_diff` is the checking primitive: it compares two
+:class:`~repro.core.result.RunResult`\\ s' final states exactly (dtype,
+shape, and raw bytes — a bitwise check, stricter than ``==``, which
+NaN-compares unequal) and returns human-readable differences, empty when
+the fixed points agree. :func:`require_async_capable` is the admission
+gate the async engine applies before running anything.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.algorithms.base import VertexProgram
+from repro.core.result import RunResult
+
+
+def require_async_capable(program: VertexProgram) -> None:
+    """Refuse programs without a monotone fixed point.
+
+    Raises ``ValueError`` unless the program declares
+    ``monotonic = True`` (see
+    :attr:`repro.algorithms.base.VertexProgram.monotonic`): without
+    monotonicity, consuming values mid-sweep changes the answer, not
+    just the schedule.
+    """
+    if not getattr(program, "monotonic", False):
+        raise ValueError(
+            f"program {program.name!r} is not monotonic: asynchronous "
+            "execution requires a monotone fixed point (declare "
+            "monotonic = True on the program if its updates only refine "
+            "the result). Run it with the synchronous engine instead."
+        )
+
+
+def fixed_point_diff(candidate: RunResult, reference: RunResult) -> List[str]:
+    """Exact fixed-point comparison; returns differences (empty = equal).
+
+    Checks convergence flags, value dtype/shape, and the final value
+    arrays byte-for-byte. Intermediate trajectories (iteration counts,
+    per-iteration records, I/O) are *expected* to differ between
+    schedules and are not compared.
+    """
+    diffs: List[str] = []
+    if candidate.program != reference.program:
+        diffs.append(
+            f"programs differ: {candidate.program!r} vs {reference.program!r}"
+        )
+    if candidate.converged != reference.converged:
+        diffs.append(
+            f"converged flags differ: {candidate.converged} vs {reference.converged}"
+        )
+    a, b = candidate.values, reference.values
+    if a.dtype != b.dtype:
+        diffs.append(f"value dtypes differ: {a.dtype} vs {b.dtype}")
+        return diffs
+    if a.shape != b.shape:
+        diffs.append(f"value shapes differ: {a.shape} vs {b.shape}")
+        return diffs
+    if a.tobytes() != b.tobytes():
+        bytes_a = np.ascontiguousarray(a).view(np.uint8).reshape(a.size, a.itemsize)
+        bytes_b = np.ascontiguousarray(b).view(np.uint8).reshape(b.size, b.itemsize)
+        differing = np.flatnonzero(np.any(bytes_a != bytes_b, axis=1))
+        vertex = int(differing[0])
+        diffs.append(
+            f"values differ bitwise at {differing.size} vertices: first at "
+            f"vertex {vertex} ({a.reshape(-1)[vertex]!r} vs {b.reshape(-1)[vertex]!r})"
+        )
+    return diffs
+
+
+def assert_fixed_point_equivalent(candidate: RunResult, reference: RunResult) -> None:
+    """Raise ``AssertionError`` listing every fixed-point difference."""
+    diffs = fixed_point_diff(candidate, reference)
+    if diffs:
+        raise AssertionError(
+            "fixed points are not equivalent:\n  " + "\n  ".join(diffs)
+        )

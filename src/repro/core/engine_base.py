@@ -73,6 +73,10 @@ class EngineBase:
         self._records: List[IterationRecord] = []
         self._iterations_done = 0
         self._iteration_cap = 0
+        #: Priority sweeps executed (asynchronous engines set this; it
+        #: stays ``None`` for synchronous engines and flows into
+        #: :attr:`~repro.core.result.RunResult.sweeps`).
+        self._sweeps_done: Optional[int] = None
         self._fault_events: List[str] = []
         self.tracer: TracerLike = NULL_TRACER
         self._trace_path: Optional[str] = None
@@ -238,6 +242,7 @@ class EngineBase:
         edges_processed: int,
         activated: int,
         cross_pushed: int = 0,
+        subblocks_processed: int = 0,
     ) -> None:
         clock_before, stats_before = token
         self._iterations_done += 1
@@ -252,6 +257,7 @@ class EngineBase:
             io=self.disk.stats - stats_before,
             activated=activated,
             cross_pushed=cross_pushed,
+            subblocks_processed=subblocks_processed,
             metrics=self.tracer.metrics.snapshot() if self.tracer.enabled else {},
         )
         self._records.append(record)
@@ -345,6 +351,7 @@ class EngineBase:
         self.frontier = program.initial_frontier(self.ctx)
         self._records = []
         self._iterations_done = 0
+        self._sweeps_done = None
         self._fault_events = []
 
         caps = [c for c in (program.max_iterations, max_iterations) if c is not None]
@@ -441,6 +448,7 @@ class EngineBase:
             wall_seconds=wall.elapsed,
             per_iteration=list(self._records),
             fault_events=list(self._fault_events),
+            sweeps=self._sweeps_done,
         )
         if manager is not None and converged:
             manager.discard()
@@ -449,8 +457,12 @@ class EngineBase:
                 self._cleanup_value_stores()
             # otherwise the value files back the live checkpoint
         if self.tracer.enabled:
+            summary: Dict[str, object] = {}
+            if result.sweeps is not None:
+                summary["sweeps"] = result.sweeps
             self.tracer.run_summary(
-                {
+                summary
+                | {
                     "engine": result.engine,
                     "program": result.program,
                     "iterations": result.iterations,

@@ -164,6 +164,7 @@ def run_fciu_round(engine: "GraphSDEngine") -> VertexSubset:
 
     activated_mask = np.zeros(n, dtype=bool)
     edges1 = 0
+    blocks1 = 0
     prefetcher = engine.make_prefetcher()
     admit = engine.buffer_enabled
     gates = [threading.Event() for _ in range(P)] if admit else None
@@ -212,6 +213,7 @@ def run_fciu_round(engine: "GraphSDEngine") -> VertexSubset:
                     contrib, edge_mask = engine.gather_block(prev, block, gate_mask=gate)
                     engine.combine_block(acc, touched, block, contrib, edge_mask)
                     edges1 += block.count
+                    blocks1 += 1
                     if do_cross and i < j:
                         # Sources in interval i are final for iteration t:
                         # push their t+1 contributions now (Algorithm 3,
@@ -261,6 +263,7 @@ def run_fciu_round(engine: "GraphSDEngine") -> VertexSubset:
         edges1,
         activated1,
         cross_pushed=activated1 if do_cross else 0,
+        subblocks_processed=blocks1,
     )
 
     if not do_cross:
@@ -278,6 +281,7 @@ def run_fciu_round(engine: "GraphSDEngine") -> VertexSubset:
 
     new_activated = np.zeros(n, dtype=bool)
     edges2 = 0
+    blocks2 = 0
     prefetcher2 = engine.make_prefetcher()
     # No gating: phase 2 never mutates the buffer, so lookahead residency
     # checks are race-free.
@@ -294,6 +298,7 @@ def run_fciu_round(engine: "GraphSDEngine") -> VertexSubset:
                     contrib, edge_mask = engine.gather_block(prev2, block, gate_mask=gate2)
                     engine.combine_block(acc2, touched2, block, contrib, edge_mask)
                     edges2 += block.count
+                    blocks2 += 1
                 engine.apply_interval(j, acc2, touched2, new_activated)
         finally:
             stream2.close()
@@ -305,5 +310,6 @@ def run_fciu_round(engine: "GraphSDEngine") -> VertexSubset:
         activated1,
         edges2,
         int(np.count_nonzero(new_activated)),
+        subblocks_processed=blocks2,
     )
     return VertexSubset(n, new_activated)

@@ -20,16 +20,26 @@ from repro.utils.timers import TimeBreakdown
 
 @dataclass
 class IterationRecord:
-    """Metrics of one executed iteration."""
+    """Metrics of one executed iteration (one *sweep* for async engines).
+
+    Synchronous engines emit one record per BSP iteration. The
+    asynchronous engine (:mod:`repro.core.async_engine`) emits one
+    record per priority *sweep* — the record shape is shared, and
+    ``subblocks_processed`` counts the sub-block gathers the
+    iteration/sweep issued, the unit the async mode exists to reduce.
+    """
 
     iteration: int
-    model: str  # "sciu", "fciu", "full", "on_demand", engine-specific labels
+    model: str  # "sciu", "fciu", "full", "async", engine-specific labels
     frontier_size: int
     edges_processed: int
     breakdown: TimeBreakdown
     io: IOStats
     activated: int = 0
     cross_pushed: int = 0
+    #: Sub-block gather/stream operations this iteration issued (0 for
+    #: engines that predate the counter).
+    subblocks_processed: int = 0
     #: Cumulative metrics-registry snapshot taken when the iteration
     #: closed (empty when tracing is disabled). See ``repro.obs.metrics``.
     metrics: Dict[str, Any] = field(default_factory=dict)
@@ -56,6 +66,7 @@ class IterationRecord:
             "edges_processed": self.edges_processed,
             "activated": self.activated,
             "cross_pushed": self.cross_pushed,
+            "subblocks_processed": self.subblocks_processed,
             "sim_seconds": self.breakdown.total,
             "overlap_saved": self.breakdown.overlap_saved,
             "sim": dict(self.breakdown.components),
@@ -88,6 +99,12 @@ class RunResult:
     #: ``msgs_dropped``, ``msgs_duplicated``, ``msgs_corrupted``,
     #: ``worker_recoveries``, ``stragglers_degraded``.
     recovery: Dict[str, Any] = field(default_factory=dict)
+    #: Priority sweeps executed (asynchronous engines only; ``None`` for
+    #: synchronous engines, whose unit of progress is ``iterations``).
+    #: For async runs ``per_iteration`` holds one record per sweep and
+    #: ``iterations`` counts the same records, so the classic counter
+    #: keeps its meaning of "number of records".
+    sweeps: "int | None" = None
 
     @property
     def sim_seconds(self) -> float:
@@ -145,6 +162,11 @@ class RunResult:
         return self.io.gather_queue_peak
 
     @property
+    def subblocks_processed(self) -> int:
+        """Total sub-block gather/stream operations across all records."""
+        return sum(r.subblocks_processed for r in self.per_iteration)
+
+    @property
     def frontier_history(self) -> List[int]:
         return [r.frontier_size for r in self.per_iteration]
 
@@ -192,8 +214,9 @@ class RunResult:
                 bits.append(f"stragglers degraded {self.recovery['stragglers_degraded']}")
             if bits:
                 recovery = ", " + ", ".join(bits)
+        sweeps = f" ({self.sweeps} sweeps)" if self.sweeps is not None else ""
         return (
-            f"{self.engine}/{self.program}: {self.iterations} iters, "
+            f"{self.engine}/{self.program}: {self.iterations} iters{sweeps}, "
             f"sim {self.sim_seconds:.3f}s (io {self.io_seconds:.3f}s, "
             f"compute {self.compute_seconds:.3f}s), {overlap}{prefetch}{gather}"
             f"traffic {self.io_traffic / (1 << 20):.1f} MiB, "
@@ -223,6 +246,7 @@ class RunResult:
             "converged": self.converged,
             "sim_seconds": self.sim_seconds,
             "wall_seconds": self.wall_seconds,
+            "subblocks_processed": self.subblocks_processed,
             "breakdown": self.breakdown.to_dict(),
             "io": self.io.to_dict(),
             "per_iteration": [r.to_dict() for r in self.per_iteration],
@@ -231,6 +255,8 @@ class RunResult:
             "values_dtype": str(self.values.dtype),
             "values_sha256": self.values_sha256(),
         }
+        if self.sweeps is not None:
+            out["sweeps"] = self.sweeps
         if include_values:
             out["values"] = self.values.tolist()
         return out

@@ -204,6 +204,12 @@ def run_sciu_round(engine: "GraphSDEngine") -> VertexSubset:
             activated_mask &= ~candidates
 
     engine.end_iteration(
-        token, "sciu", frontier.count, edges_processed, n_activated, cross_pushed
+        token,
+        "sciu",
+        frontier.count,
+        edges_processed,
+        n_activated,
+        cross_pushed,
+        subblocks_processed=len(plan),
     )
     return VertexSubset(n, activated_mask)

@@ -13,12 +13,57 @@ report``'s prediction-error table: the paper's Fig. 10 argues GraphSD
 "is able to select the better I/O access model in all iterations"
 because its predictions track charged time; the audit log measures
 exactly how closely, per decision.
+
+The asynchronous engine contributes a second decision family:
+:class:`PriorityDecision` records one per priority-queue pop, carrying
+the score that won, the competing candidates, and the realized
+activations — the same "decisions must be scorable" discipline applied
+to the async mode's interval ordering (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass
+class PriorityDecision:
+    """One asynchronous-mode priority pop (see :mod:`repro.core.async_engine`).
+
+    Each time the async engine pops the hottest destination interval
+    from its priority queue it records what it saw (the score, how many
+    intervals competed, the pending-source mass) and — once the pop has
+    been processed — what the decision *bought* (realized new
+    activations, how many sub-blocks were gathered selectively vs
+    streamed in full). Scores are heuristic; these records are what make
+    them scorable after the fact, exactly like the §4.1 scheduler audit
+    makes the C_s/C_r predictions scorable.
+    """
+
+    sweep: int  # 1-based sweep the pop belongs to
+    rank: int  # 1-based pop order within the sweep
+    interval: int  # chosen destination interval
+    score: float  # pending frontier mass: active count x mean residual
+    candidates: int  # intervals that competed in this pop
+    pending_vertices: int  # pending sources feeding the chosen interval
+    new_activations: int = 0  # vertices the pop's apply activated
+    selective_blocks: int = 0  # sub-blocks gathered on demand
+    full_blocks: int = 0  # sub-blocks streamed in full
+
+    def to_event(self) -> Dict[str, Any]:
+        return {
+            "type": "priority",
+            "sweep": self.sweep,
+            "rank": self.rank,
+            "interval": self.interval,
+            "score": self.score,
+            "candidates": self.candidates,
+            "pending_vertices": self.pending_vertices,
+            "new_activations": self.new_activations,
+            "selective_blocks": self.selective_blocks,
+            "full_blocks": self.full_blocks,
+        }
 
 
 @dataclass

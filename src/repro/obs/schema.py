@@ -34,6 +34,11 @@ whose ``type`` selects its required fields:
     One cluster recovery-audit action: ``worker``, ``event`` (e.g.
     ``"rollback"``, ``"replay"``, ``"degrade"``), ``superstep``,
     ``detail`` (free-form object).
+``priority``
+    One asynchronous-mode priority-queue pop (see
+    :class:`~repro.obs.audit.PriorityDecision`): ``sweep``, ``rank``,
+    ``interval``, ``score``, ``candidates``, ``pending_vertices``,
+    ``new_activations``, ``selective_blocks``, ``full_blocks``.
 
 Validation here is structural (types and required keys), deliberately
 dependency-free — no jsonschema package — and strict about unknown event
@@ -113,6 +118,17 @@ _REQUIRED: Dict[str, Dict[str, tuple]] = {
         "superstep": (int,),
         "detail": (dict,),
     },
+    "priority": {
+        "sweep": (int,),
+        "rank": (int,),
+        "interval": (int,),
+        "score": _NUMERIC,
+        "candidates": (int,),
+        "pending_vertices": (int,),
+        "new_activations": (int,),
+        "selective_blocks": (int,),
+        "full_blocks": (int,),
+    },
 }
 
 #: type -> {field: expected python types} for fields that MAY appear.
@@ -123,9 +139,11 @@ _OPTIONAL: Dict[str, Dict[str, tuple]] = {
     "run": {
         "recovery": (dict,),
         "workers": (int,),
+        "sweeps": (int,),
     },
     "iteration": {
         "worker": (int, str),
+        "subblocks_processed": (int,),
     },
 }
 

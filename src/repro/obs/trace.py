@@ -32,7 +32,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.obs.audit import SchedulerAudit
+from repro.obs.audit import PriorityDecision, SchedulerAudit
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS, NullMetrics
 from repro.obs.schema import TRACE_SCHEMA, TRACE_VERSION
 from repro.utils.timers import SimClock
@@ -151,6 +151,9 @@ class NullTracer:
     ) -> None:
         return None
 
+    def priority(self, decision: Any) -> None:
+        return None
+
     def write(self, path: str) -> None:
         return None
 
@@ -173,6 +176,7 @@ class Tracer:
         self._meta: Dict[str, Any] = {}
         self.metrics = MetricsRegistry()
         self.audit = SchedulerAudit(emit=self._append)
+        self.priority_records: List[PriorityDecision] = []
 
     # -- wiring ------------------------------------------------------------
 
@@ -278,6 +282,11 @@ class Tracer:
         self, actual_sim_seconds: float, actual_io_seconds: float, actual_model: str
     ) -> None:
         self.audit.close(actual_sim_seconds, actual_io_seconds, actual_model)
+
+    def priority(self, decision: "PriorityDecision") -> None:
+        """Record one async-mode priority pop (score, rank, realized gain)."""
+        self.priority_records.append(decision)
+        self._append(decision.to_event())
 
     # -- output ------------------------------------------------------------
 

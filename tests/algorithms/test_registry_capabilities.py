@@ -1,0 +1,64 @@
+"""Registry-wide capability declarations (async admissibility).
+
+Every registered program must declare ``monotonic`` on its own class —
+not inherit the base default silently — so that adding an algorithm
+forces an explicit decision about whether it has a monotone fixed point
+and may run under :class:`~repro.core.async_engine.AsyncGraphSDEngine`.
+"""
+
+import pytest
+
+from repro.algorithms import available_programs, get_spec, make_program
+from repro.algorithms.registry import registered_program_classes
+from repro.core import AsyncGraphSDEngine
+from repro.core.convergence import require_async_capable
+from tests.conftest import build_store, random_edgelist
+
+
+def test_every_program_declares_monotonic_on_its_own_class():
+    for cls in registered_program_classes():
+        assert "monotonic" in vars(cls), (
+            f"{cls.__name__} must declare monotonic explicitly "
+            "(inheriting the base default is not a decision)"
+        )
+        assert isinstance(vars(cls)["monotonic"], bool), cls.__name__
+
+
+def test_spec_flag_mirrors_the_program_class():
+    for name in available_programs():
+        spec = get_spec(name)
+        assert spec.monotonic == bool(spec.factory.monotonic), name
+
+
+def test_declared_capabilities_are_the_expected_set():
+    declared = {name: get_spec(name).monotonic for name in available_programs()}
+    assert declared == {
+        "pagerank": False,  # power iteration: no monotone fixed point
+        "pagerank_delta": True,
+        "ppr": True,
+        "cc": True,
+        "sssp": True,
+        "sswp": True,
+        "bfs": True,
+    }
+
+
+def test_pagerank_is_refused_async_capability():
+    with pytest.raises(ValueError, match="monotonic"):
+        require_async_capable(make_program("pagerank"))
+
+
+def test_monotonic_programs_pass_the_capability_gate():
+    for name in available_programs():
+        params = {"seeds": [0]} if name == "ppr" else {}
+        program = make_program(name, **params)
+        if get_spec(name).monotonic:
+            require_async_capable(program)
+
+
+def test_async_engine_refuses_pagerank_end_to_end(tmp_path, rng):
+    edges = random_edgelist(rng, 80, 400)
+    store = build_store(edges, tmp_path, P=2, name="refuse")
+    engine = AsyncGraphSDEngine(store)
+    with pytest.raises(ValueError, match="monotonic"):
+        engine.run(make_program("pagerank"))

@@ -290,6 +290,76 @@ def test_workers_and_pipeline_are_mutually_exclusive(capsys):
     assert "mutually exclusive" in capsys.readouterr().err
 
 
+# -- asynchronous execution (--async, docs/PERFORMANCE.md) -------------------
+
+
+def test_run_async_executes_and_reports_sweeps(tmp_path, capsys):
+    json_path = tmp_path / "async.json"
+    rc = main(
+        [
+            "run",
+            "--dataset",
+            "twitter2010",
+            "--algorithm",
+            "sssp",
+            "--async",
+            "--json",
+            str(json_path),
+        ]
+    )
+    assert rc == 0
+    assert "sweeps" in capsys.readouterr().out
+    payload = json.loads(json_path.read_text())
+    assert payload["engine"] == "graphsd-async"
+    assert payload["converged"] is True
+    assert 0 < payload["sweeps"] <= payload["iterations"]
+
+
+def test_async_requires_a_monotonic_algorithm(capsys):
+    rc = main(
+        ["run", "--dataset", "twitter2010", "--algorithm", "pr", "--async"]
+    )
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "monotonic" in err
+    assert "Traceback" not in err
+
+
+def test_async_and_workers_are_mutually_exclusive(capsys):
+    rc = main(
+        [
+            "run",
+            "--dataset",
+            "twitter2010",
+            "--algorithm",
+            "sssp",
+            "--async",
+            "--workers",
+            "2",
+        ]
+    )
+    assert rc == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_async_requires_the_graphsd_system(capsys):
+    rc = main(
+        [
+            "run",
+            "--dataset",
+            "twitter2010",
+            "--algorithm",
+            "sssp",
+            "--system",
+            "gridgraph",
+            "--async",
+        ]
+    )
+    assert rc == 2
+    assert "--async requires --system graphsd" in capsys.readouterr().err
+
+
 def test_parser_rejects_unknown_interconnect():
     with pytest.raises(SystemExit):
         build_parser().parse_args(
