@@ -7,14 +7,20 @@ state only under its lock, explicit dtypes on hot paths, and no
 swallowed failures. This package is a small AST-checker framework plus
 one checker per invariant; see ``docs/ANALYSIS.md`` for the rule
 catalogue and annotation grammar.
+
+Since PR 9 the framework has two layers: per-file syntactic rules, and
+whole-program rules that run over :mod:`repro.analysis.graph` — a
+project-wide symbol table, call graph (unresolvable calls recorded as
+explicit open edges) and per-function CFGs with reaching definitions.
 """
 
-from repro.analysis.base import Checker
+from repro.analysis.base import Checker, GraphChecker
 from repro.analysis.checkers import ALL_CHECKERS
 from repro.analysis.findings import Finding
 from repro.analysis.runner import (
     LintResult,
     check_text,
+    check_texts,
     collect_sources,
     default_baseline_path,
     load_baseline,
@@ -28,9 +34,11 @@ __all__ = [
     "ALL_CHECKERS",
     "Checker",
     "Finding",
+    "GraphChecker",
     "LintResult",
     "SourceFile",
     "check_text",
+    "check_texts",
     "collect_sources",
     "default_baseline_path",
     "load_baseline",

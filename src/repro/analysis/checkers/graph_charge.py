@@ -1,0 +1,154 @@
+"""GSD106 — interprocedural charge coverage.
+
+GSD102 flags raw byte I/O file-by-file; this rule walks the project call
+graph and asks the question that actually matters for the model's
+accuracy: **can an engine entry point reach raw byte I/O without
+passing through the charged substrate?** A chain like::
+
+    repro.core.engine.Engine.run -> ... -> helper._slurp -> open(...)
+
+means simulated bytes moved without a SimClock charge or an IOStats
+count — the benchmark numbers silently under-report DISK time.
+
+Mechanics:
+
+* **Sinks** are the same raw escape routes GSD102 matches (``open``,
+  ``.read_bytes``-style methods, numpy file I/O), found in *any*
+  project function — including ``storage/``, which GSD102 exempts
+  wholesale.
+* **Mediators** are the methods of the charged substrate classes
+  (``ArrayFile``, ``Device``, ``SimulatedDisk``): raw I/O *inside* a
+  mediator is the substrate doing its job, and chains that pass
+  *through* a mediator are charged by construction.
+* **Entries** are the public (non-underscore) functions and methods of
+  ``core/`` and ``cluster/`` — the surface a simulation driver calls.
+
+A finding is reported at the sink when a caller chain exists from an
+entry to the sink's enclosing function that never traverses a mediator.
+The chain is printed in the message so the fix target is obvious.
+Unresolvable calls are open edges — they cannot *create* a chain, so
+this rule under-approximates reachability and never reports a chain
+that the resolved graph does not witness.
+
+Escape hatch: ``# charged-io-ok: <reason>`` (same audit trail as
+GSD102 — host-side I/O stays host-side no matter who calls it).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.base import GraphChecker, dotted_name
+from repro.analysis.checkers.charged_io import _NUMPY_IO, _RAW_METHODS
+from repro.analysis.graph.callgraph import shortest_chain
+from repro.analysis.graph.symbols import FunctionInfo
+
+#: Substrate classes whose methods mediate (and charge) byte movement.
+_MEDIATOR_CLASSES = (
+    "repro.storage.blockfile.ArrayFile",
+    "repro.storage.blockfile.Device",
+    "repro.storage.disk.SimulatedDisk",
+)
+
+#: First-level package dirs whose public surface counts as an entry.
+_ENTRY_DIRS = ("core", "cluster")
+
+
+def _numpy_aliases(tree: ast.AST) -> Set[str]:
+    return {
+        alias.asname or "numpy"
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Import)
+        for alias in node.names
+        if alias.name == "numpy"
+    }
+
+
+def _raw_io_calls(fn: FunctionInfo, numpy_aliases: Set[str]) -> List[ast.Call]:
+    """Raw-I/O call nodes inside one function body (GSD102's tables)."""
+    out: List[ast.Call] = []
+    for stmt in fn.node.body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                out.append(node)
+            elif isinstance(func, ast.Attribute):
+                name = dotted_name(func)
+                if (
+                    name is not None
+                    and name.count(".") == 1
+                    and name.split(".")[0] in numpy_aliases
+                    and name.split(".")[1] in _NUMPY_IO
+                ):
+                    out.append(node)
+                elif func.attr in _RAW_METHODS:
+                    out.append(node)
+    return out
+
+
+class ChargeCoverageChecker(GraphChecker):
+    rule_id = "GSD106"
+    title = "engine entry points must not reach raw I/O around the substrate"
+    suppress_marker = "charged-io-ok"
+    scope_dirs = ()  # chains cross directories by definition
+
+    def visit_project(self, project) -> None:
+        table = project.symbols
+        graph = project.callgraph
+
+        mediators: Set[str] = set()
+        for cls_fqn in _MEDIATOR_CLASSES:
+            cls = table.classes.get(cls_fqn)
+            if cls is not None:
+                mediators.update(cls.methods.values())
+
+        entries: Set[str] = set()
+        for fn in table.functions.values():
+            head = fn.rel.split("/", 1)[0]
+            if head in _ENTRY_DIRS and not fn.name.startswith("_"):
+                entries.add(fn.fqn)
+
+        alias_cache: Dict[str, Set[str]] = {}
+        for fn in table.functions.values():
+            if fn.fqn in mediators:
+                continue  # the substrate is allowed to move bytes
+            sf = project.source(fn.rel)
+            if sf is None:
+                continue
+            if fn.rel not in alias_cache:
+                alias_cache[fn.rel] = _numpy_aliases(sf.tree)
+            sinks = _raw_io_calls(fn, alias_cache[fn.rel])
+            if not sinks:
+                continue
+            chain = self._entry_chain(graph, fn, entries, mediators)
+            if chain is None:
+                continue
+            rendered = " -> ".join(_short(f) for f in chain)
+            for call in sinks:
+                self.report_at(
+                    sf,
+                    call,
+                    f"raw I/O reachable from engine entry point without "
+                    f"passing the charged substrate: {rendered} -> "
+                    f"{ast.unparse(call.func)}(); route through "
+                    "Device/ArrayFile or annotate the host-side boundary",
+                )
+
+    @staticmethod
+    def _entry_chain(
+        graph, fn: FunctionInfo, entries: Set[str], mediators: Set[str]
+    ) -> Optional[List[str]]:
+        if fn.fqn in entries:
+            return [fn.fqn]
+        return shortest_chain(graph, fn.fqn, entries, blocked=mediators)
+
+
+def _short(fqn: str) -> str:
+    """Trim the ``repro.`` prefix for readable chain rendering."""
+    return fqn[len("repro."):] if fqn.startswith("repro.") else fqn
+
+
+__all__ = ["ChargeCoverageChecker"]

@@ -1,0 +1,317 @@
+"""GSD109 — resource-lifecycle balance on all CFG paths.
+
+The engine's resources all carry a release obligation whose violation
+is silent at the site and expensive later:
+
+* a :class:`~repro.obs.trace.Tracer` span that is created but never
+  entered records nothing — the trace quietly loses a phase;
+* a prefetcher/gather-pool stream that is abandoned without ``close()``
+  leaves a worker thread parked on a queue (and its simulated DISK
+  charges half-applied) — the next round deadlocks or double-charges;
+* a bare ``lock.acquire()`` without a ``release()`` on *every* path —
+  including the exceptional ones — is a one-shot deadlock.
+
+This rule checks the obligations on the per-function CFG, exceptional
+edges included:
+
+* ``<expr>.span(...)`` must be entered: used directly as a ``with``
+  item, or assigned to a local that a later ``with`` item names (the
+  assign-then-``with`` idiom). A span that escapes the function
+  (returned, stored on ``self``, passed along, captured by a closure)
+  transfers the obligation to the new owner and is accepted.
+* a local bound to ``BlockPrefetcher.run(...)`` / ``GatherPool.run(...)``
+  (resolved through the call graph) must reach ``.close()`` or
+  ``.cancel()`` on every path from the binding to function exit — a
+  ``finally`` satisfies this because exceptional edges route through
+  it — unless the stream escapes.
+* a statement-level ``X.acquire()`` must be balanced by ``X.release()``
+  on every path to exit (post-dominance on the CFG); use ``with X:``
+  instead where possible.
+
+The path check starts at the *normal* successors of the acquiring
+statement: if the acquisition itself raises, the resource was never
+created and no obligation exists.
+
+Escape hatch: ``# leak-ok: <reason>`` on the acquiring line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analysis.base import GraphChecker
+from repro.analysis.checkers.locks import _expr_key
+from repro.analysis.graph.cfg import CFG, EXCEPTION
+from repro.analysis.graph.symbols import FunctionInfo
+
+#: Project functions returning a stream that owns a worker thread.
+_STREAM_FACTORIES = (
+    "repro.storage.prefetch.BlockPrefetcher.run",
+    "repro.storage.gatherpool.GatherPool.run",
+)
+_RELEASE_METHODS = ("close", "cancel")
+
+
+def _exit_reachable_without(cfg: CFG, start_id: int, barrier: Set[int]) -> bool:
+    """Can ``exit`` be reached from ``start_id``'s *normal* successors
+    along paths that avoid every barrier node?"""
+    stack = [
+        dst
+        for dst, kind in cfg.nodes[start_id].succs
+        if kind != EXCEPTION
+    ]
+    seen: Set[int] = set()
+    while stack:
+        cur = stack.pop()
+        if cur in seen or cur in barrier:
+            continue
+        if cur == cfg.exit:
+            return True
+        seen.add(cur)
+        stack.extend(cfg.successors(cur))
+    return False
+
+
+def _stmt_calls_method_on(stmt: ast.stmt, owner_key: str, methods) -> bool:
+    for node in ast.walk(stmt):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in methods
+            and _expr_key(node.func.value) == owner_key
+        ):
+            return True
+    return False
+
+
+def _stmt_rebinds(stmt: ast.stmt, name: str) -> bool:
+    if isinstance(stmt, ast.Assign):
+        return any(
+            isinstance(t, ast.Name) and t.id == name for t in stmt.targets
+        )
+    if isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        return isinstance(stmt.target, ast.Name) and stmt.target.id == name
+    return False
+
+
+class _EscapeScanner:
+    """Does local ``name`` escape the function (new owner takes over)?"""
+
+    _CONSUMING_BUILTINS = ("next", "list", "iter", "enumerate", "zip", "tuple")
+
+    def __init__(self, fn_node: ast.AST, name: str) -> None:
+        self.name = name
+        self.escaped = False
+        for stmt in getattr(fn_node, "body", []):
+            self._walk(stmt, nested=False)
+            if self.escaped:
+                return
+
+    def _walk(self, node: ast.AST, nested: bool) -> None:
+        if self.escaped:
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A closure capturing the name owns it now (the gatherpool
+            # consume() pattern: close lives in the nested generator).
+            if any(
+                isinstance(n, ast.Name) and n.id == self.name
+                for n in ast.walk(node)
+            ):
+                self.escaped = True
+            return
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            value = getattr(node, "value", None)
+            if value is not None and self._mentions(value):
+                self.escaped = True
+                return
+        if isinstance(node, ast.Assign):
+            if self._mentions(node.value) and any(
+                not (isinstance(t, ast.Name) and t.id == self.name)
+                for t in node.targets
+            ):
+                self.escaped = True  # aliased or stored on an attribute
+                return
+        if isinstance(node, ast.Call):
+            consuming = (
+                isinstance(node.func, ast.Name)
+                and node.func.id in self._CONSUMING_BUILTINS
+            )
+            if not consuming:
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if self._mentions(arg):
+                        self.escaped = True
+                        return
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, nested)
+
+    def _mentions(self, expr: ast.AST) -> bool:
+        return any(
+            isinstance(n, ast.Name) and n.id == self.name
+            for n in ast.walk(expr)
+        )
+
+
+class ResourceLifecycleChecker(GraphChecker):
+    rule_id = "GSD109"
+    title = "spans, streams and bare locks must be released on every path"
+    suppress_marker = "leak-ok"
+    scope_dirs = ("core", "graph", "storage", "algorithms", "obs", "cluster", "tune")
+
+    def visit_project(self, project) -> None:
+        #: id(Call node) -> resolved callee fqn, for stream detection.
+        resolved = {
+            id(edge.node): edge.callee for edge in project.callgraph.edges
+        }
+        for fn in project.symbols.functions.values():
+            if not self.applies_to(fn.rel):
+                continue
+            sf = project.source(fn.rel)
+            if sf is None:
+                continue
+            self._check_spans(sf, fn)
+            self._check_streams(project, sf, fn, resolved)
+            self._check_acquire(project, sf, fn)
+
+    # -- spans ---------------------------------------------------------------
+
+    def _check_spans(self, sf, fn: FunctionInfo) -> None:
+        with_items: List[ast.expr] = []
+        with_names: Set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_items.append(item.context_expr)
+                    if isinstance(item.context_expr, ast.Name):
+                        with_names.add(item.context_expr.id)
+        with_item_ids = {id(e) for e in with_items}
+
+        for stmt in ast.walk(fn.node):
+            if not isinstance(stmt, (ast.Expr, ast.Assign)):
+                continue
+            call = stmt.value
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "span"
+            ):
+                continue
+            if id(call) in with_item_ids:
+                continue
+            if isinstance(stmt, ast.Expr):
+                self.report_at(
+                    sf,
+                    call,
+                    "span created and dropped: it is never entered, so the "
+                    "trace loses this phase (use 'with ...span(...):')",
+                )
+                continue
+            # Assigned: fine when a with-item later names the local, or
+            # when the span escapes to a new owner.
+            names = [
+                t.id for t in stmt.targets if isinstance(t, ast.Name)
+            ]
+            if not names:
+                continue  # stored on an attribute: ownership transferred
+            name = names[0]
+            if name in with_names:
+                continue
+            if _EscapeScanner(fn.node, name).escaped:
+                continue
+            self.report_at(
+                sf,
+                call,
+                f"span assigned to '{name}' but never entered on any path "
+                "(no 'with' names it and it does not escape)",
+            )
+
+    # -- streams -------------------------------------------------------------
+
+    def _check_streams(self, project, sf, fn: FunctionInfo, resolved) -> None:
+        cfg = project.cfg_of(fn.fqn)
+        if cfg is None:
+            return
+        for stmt in ast.walk(fn.node):
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            call = stmt.value
+            if not isinstance(call, ast.Call):
+                continue
+            if resolved.get(id(call)) not in _STREAM_FACTORIES:
+                continue
+            name = target.id
+            node_id = cfg.node_of_stmt.get(id(stmt))
+            if node_id is None:
+                # Inside a nested function: its body is opaque to this
+                # CFG; re-check against the nested scope lexically.
+                continue
+            barrier = {
+                n.id
+                for n in cfg.nodes
+                if n.stmt is not None
+                and (
+                    _stmt_calls_method_on(n.stmt, name, _RELEASE_METHODS)
+                    or (n.id != node_id and _stmt_rebinds(n.stmt, name))
+                )
+            }
+            if not _exit_reachable_without(cfg, node_id, barrier):
+                continue
+            if _EscapeScanner(fn.node, name).escaped:
+                continue
+            self.report_at(
+                sf,
+                call,
+                f"stream '{name}' from {_short(resolved[id(call)])} can "
+                "reach function exit without close()/cancel(): the worker "
+                "thread leaks on that path (wrap in try/finally)",
+            )
+
+    # -- bare acquire --------------------------------------------------------
+
+    def _check_acquire(self, project, sf, fn: FunctionInfo) -> None:
+        cfg: Optional[CFG] = None
+        for stmt in ast.walk(fn.node):
+            if not isinstance(stmt, ast.Expr):
+                continue
+            call = stmt.value
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "acquire"
+            ):
+                continue
+            owner = _expr_key(call.func.value)
+            if owner is None:
+                continue
+            if cfg is None:
+                cfg = project.cfg_of(fn.fqn)
+            if cfg is None:
+                return
+            node_id = cfg.node_of_stmt.get(id(stmt))
+            if node_id is None:
+                continue
+            barrier = {
+                n.id
+                for n in cfg.nodes
+                if n.stmt is not None
+                and _stmt_calls_method_on(n.stmt, owner, ("release",))
+            }
+            if _exit_reachable_without(cfg, node_id, barrier):
+                self.report_at(
+                    sf,
+                    call,
+                    f"{owner}.acquire() is not balanced by "
+                    f"{owner}.release() on every path to exit (exceptional "
+                    "paths included) — prefer 'with', or release in a "
+                    "finally",
+                )
+
+
+def _short(fqn: str) -> str:
+    return fqn[len("repro."):] if fqn.startswith("repro.") else fqn
+
+
+__all__ = ["ResourceLifecycleChecker"]

@@ -1,0 +1,237 @@
+"""GSD107 — lock-context propagation across the call graph.
+
+GSD103 is lexical: a method touching a ``guarded-by:`` field must hold
+the lock *in that method*. Real code factors the guarded access into a
+private helper, and the lexical rule then forces either duplicated
+``with`` blocks or a scatter of ``unguarded-ok`` annotations. The
+``# lock-held: <lock>`` declaration on the helper's ``def`` line fixes
+that division of labor:
+
+* GSD103 seeds the helper's lexical lock set — the guarded accesses in
+  its body are legal;
+* **this rule** verifies the declaration's other half: every call-graph
+  path into the helper actually holds the lock.
+
+Checked per declared function ``H`` (``# lock-held: _lock``):
+
+* every *resolved* call edge into ``H`` must occur at a call site that
+  lexically holds ``(receiver, _lock)`` — the same pair GSD103 would
+  require for a direct field access. Contexts propagate: a caller that
+  is itself declared ``lock-held`` with the same lock calls ``H`` on
+  ``self`` legally without a ``with`` block (its own callers are
+  verified in turn), so "called-with-lock-held" chains are inferred
+  through the graph rather than re-annotated at every level.
+* referencing ``H`` as a *value* (thread target, callback) is an
+  escape: the lock context at the eventual call site is unknowable
+  statically, so the reference itself is reported.
+* the inverse hazard is also checked: a call site that already holds
+  the lock must not call a method that *re-acquires* it (``with
+  self.<lock>:`` in the callee) when the lock attribute was constructed
+  as a non-reentrant ``threading.Lock`` — that is a guaranteed
+  self-deadlock, invisible to per-file analysis.
+
+Escape hatch: ``# unguarded-ok: <reason>`` at the call/reference site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.analysis.base import GraphChecker
+from repro.analysis.checkers.locks import _expr_key, lock_sets_at_calls
+from repro.analysis.graph.symbols import FunctionInfo
+
+
+def _lock_held_decl(sf, fn: FunctionInfo) -> Optional[str]:
+    """The ``lock-held`` lock attr declared on ``fn``'s def line."""
+    decls = sf.declarations("lock-held")
+    value = decls.get(fn.lineno) or decls.get(fn.lineno - 1)
+    return value.strip() if value is not None else None
+
+
+def _acquires(fn: FunctionInfo) -> Set[str]:
+    """Lock attrs ``fn`` acquires via ``with self.<attr>:`` anywhere."""
+    out: Set[str] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                ctx = item.context_expr
+                if (
+                    isinstance(ctx, ast.Attribute)
+                    and isinstance(ctx.value, ast.Name)
+                    and ctx.value.id == "self"
+                ):
+                    out.add(ctx.attr)
+    return out
+
+
+def _nonreentrant_locks(table, class_fqn: str) -> Set[str]:
+    """Lock attrs assigned ``threading.Lock()`` in the class ``__init__``.
+
+    ``RLock`` (and anything not literally ``...Lock()``) is excluded —
+    re-acquiring those is legal.
+    """
+    out: Set[str] = set()
+    init_fqn = table.lookup_method(class_fqn, "__init__")
+    if init_fqn is None:
+        return out
+    init = table.functions.get(init_fqn.fqn)
+    if init is None:
+        return out
+    for node in ast.walk(init.node):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            continue
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "Lock"
+        ):
+            out.add(target.attr)
+    return out
+
+
+class LockContextChecker(GraphChecker):
+    rule_id = "GSD107"
+    title = "lock-held helpers must be called with their lock actually held"
+    suppress_marker = "unguarded-ok"
+    scope_dirs = ()  # driven entirely by lock-held declarations
+
+    def visit_project(self, project) -> None:
+        table = project.symbols
+        graph = project.callgraph
+
+        declared: Dict[str, str] = {}  # helper fqn -> lock attr
+        for fn in table.functions.values():
+            sf = project.source(fn.rel)
+            if sf is None:
+                continue
+            lock = _lock_held_decl(sf, fn)
+            if lock is not None:
+                declared[fn.fqn] = lock
+
+        #: caller fqn -> {id(Call): lexically held (owner, lock) pairs}.
+        held_cache: Dict[str, Dict[int, FrozenSet[Tuple[str, str]]]] = {}
+
+        def held_at(caller_fqn: str) -> Dict[int, FrozenSet[Tuple[str, str]]]:
+            if caller_fqn not in held_cache:
+                caller = table.functions.get(caller_fqn)
+                body = list(caller.node.body) if caller is not None else []
+                held_cache[caller_fqn] = lock_sets_at_calls(body)
+            return held_cache[caller_fqn]
+
+        for helper_fqn, lock in declared.items():
+            helper = table.functions[helper_fqn]
+            for edge in graph.callers.get(helper_fqn, ()):
+                self._check_edge(project, table, declared, held_at, edge, helper, lock)
+            for ref in graph.refs:
+                if ref.target != helper_fqn:
+                    continue
+                user = table.functions.get(ref.user)
+                sf = project.source(user.rel if user else helper.rel)
+                if sf is None:
+                    continue
+                anchor = ast.Name(id="x")
+                anchor.lineno = ref.lineno
+                anchor.col_offset = 0
+                self.report_at(
+                    sf,
+                    anchor,
+                    f"{_name(helper_fqn)} is declared '# lock-held: {lock}' "
+                    "but is referenced as a value here (thread target / "
+                    "callback): the lock context at the eventual call site "
+                    "cannot be verified",
+                )
+
+        # Inverse: holding a non-reentrant lock while calling a method
+        # that re-acquires it.
+        nonreentrant: Dict[str, Set[str]] = {}
+        for edge in graph.edges:
+            callee = table.functions.get(edge.callee)
+            caller = table.functions.get(edge.caller)
+            if callee is None or caller is None or callee.class_fqn is None:
+                continue
+            reacquired = _acquires(callee)
+            if not reacquired:
+                continue
+            if callee.class_fqn not in nonreentrant:
+                nonreentrant[callee.class_fqn] = _nonreentrant_locks(
+                    table, callee.class_fqn
+                )
+            hazardous = reacquired & nonreentrant[callee.class_fqn]
+            if not hazardous:
+                continue
+            held = held_at(edge.caller).get(id(edge.node), frozenset())
+            recv = self._receiver_key(edge.node)
+            if recv is None:
+                continue
+            for attr in sorted(hazardous):
+                if (recv, attr) in held:
+                    sf = project.source(caller.rel)
+                    if sf is not None:
+                        self.report_at(
+                            sf,
+                            edge.node,
+                            f"calling {_name(edge.callee)} while holding "
+                            f"{recv}.{attr}: the callee re-acquires the "
+                            "non-reentrant lock (self-deadlock)",
+                        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def _check_edge(
+        self,
+        project,
+        table,
+        declared: Dict[str, str],
+        held_at,
+        edge,
+        helper: FunctionInfo,
+        lock: str,
+    ) -> None:
+        caller = table.functions.get(edge.caller)
+        if caller is None:
+            return  # module-level synthetic caller: single-threaded import
+        recv = self._receiver_key(edge.node)
+        if recv is None:
+            recv = "self"  # bare-name call inside the same class is rare
+        held = held_at(edge.caller).get(id(edge.node), frozenset())
+        if (recv, lock) in held:
+            return
+        # Context propagation: the caller itself promises the lock.
+        if (
+            declared.get(edge.caller) == lock
+            and recv in ("self", "cls")
+        ):
+            return
+        sf = project.source(caller.rel)
+        if sf is None:
+            return
+        self.report_at(
+            sf,
+            edge.node,
+            f"call to {_name(helper.fqn)} requires '# lock-held: {lock}' "
+            f"but {recv}.{lock} is not held on this path (wrap the call in "
+            f"'with {recv}.{lock}:' or declare the caller lock-held)",
+        )
+
+    @staticmethod
+    def _receiver_key(call: ast.Call) -> Optional[str]:
+        if isinstance(call.func, ast.Attribute):
+            return _expr_key(call.func.value)
+        return None
+
+
+def _name(fqn: str) -> str:
+    return fqn[len("repro."):] if fqn.startswith("repro.") else fqn
+
+
+__all__ = ["LockContextChecker"]

@@ -1,0 +1,284 @@
+"""GSD108 — iteration-order determinism in sim-deterministic scopes.
+
+The bit-identity guarantees (pipelined==serial, cluster==single-node,
+async==resumed) all reduce to: every float accumulation and every
+charged I/O sequence must happen in the same order on every run. Two
+iteration orders in Python are *not* stable across runs:
+
+* **set iteration** is hash-ordered — for str keys it varies with
+  ``PYTHONHASHSEED``;
+* **dict iteration on shared attributes** follows insertion order, and
+  insertion order on cross-thread state (a prefetch worker and a
+  consumer both inserting keys) is a race. Local dicts are exempt:
+  built and consumed in one frame, their insertion order is as
+  deterministic as the code that filled them.
+
+The rule fires when a *suspect iterable* feeds an *order-sensitive
+consumer* inside the sim-deterministic directories:
+
+Suspect iterables — set literals/comprehensions, ``set()`` /
+``frozenset()`` calls, set-typed locals (all reaching definitions build
+a set), set-typed parameters, set operators (``|  & - ^``) over suspect
+operands, and ``.keys()/.values()/.items()`` (or direct iteration) on
+dict-typed **attributes** of project classes.
+
+Order-sensitive consumers — a ``for`` loop whose body accumulates
+(``+=``/``-=``), appends/extends a sequence, or charges the clock;
+``sum()``/``math.fsum()`` over the iterable; a list or dict
+comprehension built from a *set* source (order-visible output /
+insertion-ordered result — a comprehension over a dict merely
+preserves the source's order and is not flagged).
+
+Discharges — wrapping the iterable in ``sorted(...)``, or
+``# order-ok: <reason>`` on the loop line when the order is provably
+deterministic (e.g. single-threaded insertion) and must be preserved
+for bit-compatibility with recorded baselines.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analysis.base import GraphChecker
+from repro.analysis.graph.cfg import CFG
+from repro.analysis.graph.dataflow import (
+    ENTRY_DEF,
+    assigned_value,
+    reaching_definitions,
+)
+from repro.analysis.graph.symbols import (
+    DICT_KIND,
+    SET_KIND,
+    FunctionInfo,
+    annotation_container_kind,
+    container_kind_of,
+    param_containers,
+    param_types,
+)
+
+_DICT_VIEWS = ("keys", "values", "items")
+#: Loop-body calls that make iteration order observable.
+_ORDER_SENSITIVE_METHODS = ("append", "extend", "charge", "read_block", "write_block")
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+class _FunctionContext:
+    """Per-function typing context for iterable classification."""
+
+    def __init__(self, project, fn: FunctionInfo) -> None:
+        self.project = project
+        self.table = project.symbols
+        self.fn = fn
+        self.param_kinds = param_containers(fn)
+        self.param_types = param_types(self.table, fn)
+        self.cfg: Optional[CFG] = project.cfg_of(fn.fqn)
+        self._rds = None
+
+    def reaching(self):
+        if self._rds is None and self.cfg is not None:
+            params = list(self.param_kinds) + list(self.param_types)
+            self._rds = reaching_definitions(self.cfg, params=params)
+        return self._rds
+
+    # -- classification -----------------------------------------------------
+
+    def iterable_kind(self, expr: ast.AST, at_stmt: Optional[ast.stmt]) -> Optional[str]:
+        """SET/DICT kind of an iterable expression, or None (not suspect)."""
+        # sorted(...) discharges; list(X)/tuple(X)/iter(X) preserve order.
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            if expr.func.id == "sorted":
+                return None
+            if expr.func.id in ("list", "tuple", "iter", "enumerate") and expr.args:
+                return self.iterable_kind(expr.args[0], at_stmt)
+        direct = container_kind_of(expr)
+        if direct == SET_KIND:
+            return SET_KIND
+        if direct == DICT_KIND:
+            return None  # a dict *literal* iterates in written order
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+            if expr.func.attr in _DICT_VIEWS:
+                recv_kind = self._receiver_dict_kind(expr.func.value, at_stmt)
+                return DICT_KIND if recv_kind else None
+            return None
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, _SET_OPS):
+            left = self.iterable_kind(expr.left, at_stmt)
+            right = self.iterable_kind(expr.right, at_stmt)
+            if SET_KIND in (left, right):
+                return SET_KIND
+        if isinstance(expr, ast.Name):
+            kind = self._name_kind(expr.id, at_stmt)
+            return SET_KIND if kind == SET_KIND else None
+        if isinstance(expr, ast.Attribute):
+            kind = self._attr_kind(expr)
+            # Direct iteration over a dict attribute == .keys().
+            return kind if kind in (SET_KIND, DICT_KIND) else None
+        return None
+
+    def _receiver_dict_kind(
+        self, recv: ast.AST, at_stmt: Optional[ast.stmt]
+    ) -> bool:
+        """Is ``recv`` a dict-typed shared attribute (or set — suspect too)?"""
+        if isinstance(recv, ast.Attribute):
+            return self._attr_kind(recv) in (DICT_KIND, SET_KIND)
+        return False  # local dicts iterate in deterministic insertion order
+
+    def _attr_kind(self, node: ast.Attribute) -> Optional[str]:
+        owner: Optional[str] = None
+        if isinstance(node.value, ast.Name):
+            if node.value.id in ("self", "cls"):
+                owner = self.fn.class_fqn
+            else:
+                owner = self.param_types.get(node.value.id)
+        if owner is None:
+            return None
+        return self.table.attr_container(owner, node.attr)
+
+    def _name_kind(self, name: str, at_stmt: Optional[ast.stmt]) -> Optional[str]:
+        """Kind of a local/parameter, via reaching definitions when the
+        statement maps to a CFG node, else all-assignments fallback."""
+        param_kind = self.param_kinds.get(name)
+        rds = self.reaching()
+        node_id = (
+            self.cfg.node_of_stmt.get(id(at_stmt))
+            if self.cfg is not None and at_stmt is not None
+            else None
+        )
+        values: List[ast.AST] = []
+        if rds is not None and node_id is not None:
+            defs = rds.get(node_id, {}).get(name)
+            if not defs:
+                return None
+            for d in defs:
+                if d == ENTRY_DEF:
+                    if param_kind is None:
+                        return None
+                    continue
+                stmt = self.cfg.nodes[d].stmt
+                value = assigned_value(stmt, name) if stmt is not None else None
+                if value is None:
+                    return None  # loop target / unpacking: unknown
+                values.append(value)
+        else:
+            for stmt in ast.walk(self.fn.node):
+                if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    value = assigned_value(stmt, name)
+                    if value is not None:
+                        values.append(value)
+            if not values and param_kind is None:
+                return None
+        kinds: Set[str] = set()
+        if param_kind is not None and (not values or rds is None):
+            kinds.add(param_kind)
+        for value in values:
+            if isinstance(value, ast.AST):
+                k = container_kind_of(value) or annotation_container_kind(value)
+                if k is None and isinstance(value, ast.BinOp):
+                    k = SET_KIND if self.iterable_kind(value, None) else None
+                if k is None:
+                    return None  # one non-set definition: not suspect
+                kinds.add(k)
+        if param_kind is not None:
+            kinds.add(param_kind)
+        return SET_KIND if kinds == {SET_KIND} else None
+
+
+def _loop_is_order_sensitive(loop: ast.For) -> bool:
+    for stmt in loop.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.AugAssign):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ORDER_SENSITIVE_METHODS
+            ):
+                return True
+    return False
+
+
+class IterationOrderChecker(GraphChecker):
+    rule_id = "GSD108"
+    title = "hash/race-ordered iteration must not feed accumulation or I/O"
+    suppress_marker = "order-ok"
+    # Unlike GSD101, ``utils`` is in scope: SimClock's accounting dicts
+    # live there and are exactly the shared state this rule protects.
+    scope_dirs = (
+        "core", "graph", "storage", "algorithms", "obs", "cluster", "tune", "utils",
+    )
+
+    def visit_project(self, project) -> None:
+        for fn in project.symbols.functions.values():
+            if not self.applies_to(fn.rel):
+                continue
+            sf = project.source(fn.rel)
+            if sf is None:
+                continue
+            ctx = _FunctionContext(project, fn)
+            self._check_function(sf, ctx)
+
+    def _check_function(self, sf, ctx: _FunctionContext) -> None:
+        fn = ctx.fn
+        #: innermost statement each expression belongs to (for CFG lookup).
+        for stmt in fn.node.body:
+            for owner_stmt, node in _walk_with_stmt(stmt):
+                if isinstance(node, ast.For):
+                    kind = ctx.iterable_kind(node.iter, owner_stmt)
+                    if kind is not None and _loop_is_order_sensitive(node):
+                        self.report_at(sf, node, self._msg(kind, "loop body accumulates / charges in iteration order"))
+                elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name) and node.func.id in ("sum", "fsum"):
+                    if node.args:
+                        arg = node.args[0]
+                        target = arg.generators[0].iter if isinstance(arg, ast.GeneratorExp) else arg
+                        kind = ctx.iterable_kind(target, owner_stmt)
+                        if kind is not None:
+                            self.report_at(sf, node, self._msg(kind, "float summation order follows iteration order"))
+                elif isinstance(node, (ast.ListComp, ast.DictComp)):
+                    # Only hash-ordered (set) sources make a comprehension
+                    # hazardous: a dict/list comp over a dict *preserves*
+                    # the source's order — no new nondeterminism.
+                    kind = ctx.iterable_kind(node.generators[0].iter, owner_stmt)
+                    if kind == SET_KIND:
+                        what = (
+                            "list output is order-visible"
+                            if isinstance(node, ast.ListComp)
+                            else "result dict insertion order follows iteration order"
+                        )
+                        self.report_at(sf, node, self._msg(kind, what))
+
+    @staticmethod
+    def _msg(kind: str, consequence: str) -> str:
+        source = (
+            "set iteration is hash-ordered (varies with PYTHONHASHSEED)"
+            if kind == SET_KIND
+            else "shared dict attribute: insertion order can race across threads"
+        )
+        return (
+            f"{source} and {consequence}; iterate sorted(...) or annotate "
+            "'# order-ok: <why the order is deterministic>'"
+        )
+
+
+def _walk_with_stmt(stmt: ast.stmt):
+    """Yield ``(enclosing statement, node)`` pairs, tracking the innermost
+    statement so CFG/reaching-defs lookups land on the right node. Nested
+    function bodies are walked too (their loops still run in sim scope)."""
+    yield stmt, stmt
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.stmt):
+            yield from _walk_with_stmt(child)
+        else:
+            for owner, node in _walk_expr(stmt, child):
+                yield owner, node
+
+
+def _walk_expr(owner: ast.stmt, expr: ast.AST):
+    yield owner, expr
+    for child in ast.iter_child_nodes(expr):
+        if isinstance(child, ast.stmt):
+            yield from _walk_with_stmt(child)
+        else:
+            yield from _walk_expr(owner, child)
+
+
+__all__ = ["IterationOrderChecker"]

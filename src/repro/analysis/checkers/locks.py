@@ -23,12 +23,17 @@ Conventions:
   lock through a local is not recognized (keep it simple, keep it
   checkable).
 * Known-benign unguarded accesses carry ``# unguarded-ok: <reason>``.
+* A helper whose *callers* take the lock declares its calling
+  convention on the ``def`` line: ``# lock-held: _lock``. The scanner
+  then seeds the method's lock set with ``(self, _lock)`` instead of
+  flagging every access — and the whole-program rule GSD107 verifies
+  that every call-graph path into the helper actually holds the lock.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.analysis.base import Checker
 from repro.analysis.source import SourceFile
@@ -45,6 +50,46 @@ def _expr_key(node: ast.AST) -> Optional[str]:
     return None
 
 
+def lock_sets_at_calls(
+    body: List[ast.stmt],
+) -> Dict[int, FrozenSet[Tuple[str, str]]]:
+    """``{id(Call node): lexically-held (owner, lock attr) pairs}``.
+
+    Shared with the whole-program lock-context rule (GSD107): it asks,
+    for each call site in a caller's body, which locks are held there.
+    Nested functions and lambdas hold nothing (closures escape the
+    lock's dynamic extent), matching :class:`_MethodScanner`.
+    """
+    result: Dict[int, FrozenSet[Tuple[str, str]]] = {}
+
+    def walk(node: ast.AST, held: Tuple[Tuple[str, str], ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            for child in ast.iter_child_nodes(node):
+                walk(child, ())
+            return
+        if isinstance(node, ast.Call):
+            result[id(node)] = frozenset(held)
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = list(held)
+            for item in node.items:
+                ctx = item.context_expr
+                if isinstance(ctx, ast.Attribute):
+                    owner = _expr_key(ctx.value)
+                    if owner is not None:
+                        acquired.append((owner, ctx.attr))
+                walk(ctx, tuple(held))
+            inner = tuple(acquired)
+            for stmt in node.body:
+                walk(stmt, inner)
+            return
+        for child in ast.iter_child_nodes(node):
+            walk(child, held)
+
+    for stmt in body:
+        walk(stmt, ())
+    return result
+
+
 class _MethodScanner(ast.NodeVisitor):
     """Walks one method body tracking the active set of held locks."""
 
@@ -53,12 +98,13 @@ class _MethodScanner(ast.NodeVisitor):
         checker: "LockDisciplineChecker",
         guarded: Dict[str, str],
         method_name: str,
+        seed_held: Optional[List[Tuple[str, str]]] = None,
     ) -> None:
         self.checker = checker
         self.guarded = guarded
         self.method_name = method_name
         #: (owner key, lock attr) pairs currently held.
-        self.held: List[Tuple[str, str]] = []
+        self.held: List[Tuple[str, str]] = list(seed_held or [])
 
     def visit_With(self, node: ast.With) -> None:
         acquired: List[Tuple[str, str]] = []
@@ -153,11 +199,18 @@ class LockDisciplineChecker(Checker):
         guarded = self._collect_guarded(cls, declarations)
         if not guarded:
             return
+        lock_held = sf.declarations("lock-held")
         for stmt in cls.body:
             if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
             if stmt.name == "__init__":
                 continue  # construction happens-before publication
-            scanner = _MethodScanner(self, guarded, stmt.name)
+            seed: List[Tuple[str, str]] = []
+            decl = lock_held.get(stmt.lineno) or lock_held.get(stmt.lineno - 1)
+            if decl is not None:
+                # Callers hold the lock on *this* instance (GSD107
+                # verifies them); the body may touch guarded state.
+                seed.append(("self", decl.strip()))
+            scanner = _MethodScanner(self, guarded, stmt.name, seed_held=seed)
             for inner in stmt.body:
                 scanner.visit(inner)

@@ -1,0 +1,52 @@
+"""Whole-program analysis: symbols -> call graph -> CFG -> dataflow.
+
+The per-file checker framework (PR 4) sees one function at a time; the
+rules that police *interprocedural* invariants (charge coverage, lock
+propagation, resource lifecycles) need to see the project. This
+subpackage builds that view:
+
+* :mod:`~repro.analysis.graph.symbols` — a project symbol table:
+  modules, classes (with base-class links and inferred attribute
+  types), functions/methods, and per-module import bindings.
+* :mod:`~repro.analysis.graph.callgraph` — resolved call edges between
+  project functions (module functions, ``self.``/``cls.`` dispatch
+  through the class hierarchy, attribute chains through inferred
+  types), with every *unresolvable* dynamic call recorded as an
+  explicit **open edge** — never silently dropped.
+* :mod:`~repro.analysis.graph.cfg` — per-function control-flow graphs
+  at statement granularity, including exceptional edges into
+  ``except``/``finally``, plus dominance/post-dominance.
+* :mod:`~repro.analysis.graph.dataflow` — reaching definitions over the
+  CFG and the container-kind inference the determinism rule uses.
+* :mod:`~repro.analysis.graph.project` — the :class:`ProjectGraph`
+  facade tying it together, with a pickle cache keyed by the hash of
+  every source file (see ``graphsd lint --graph-cache``).
+"""
+
+from repro.analysis.graph.callgraph import CallEdge, CallGraph, OpenEdge
+from repro.analysis.graph.cfg import CFG, build_cfg
+from repro.analysis.graph.dataflow import reaching_definitions
+from repro.analysis.graph.project import ProjectGraph, build_project_graph
+from repro.analysis.graph.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    SymbolTable,
+    build_symbol_table,
+)
+
+__all__ = [
+    "CFG",
+    "CallEdge",
+    "CallGraph",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "OpenEdge",
+    "ProjectGraph",
+    "SymbolTable",
+    "build_cfg",
+    "build_project_graph",
+    "build_symbol_table",
+    "reaching_definitions",
+]

@@ -1,0 +1,393 @@
+"""Project call graph: resolved edges plus explicit open edges.
+
+Resolution strategy (deliberately conservative — a wrong edge poisons
+every rule built on top, a missing edge is recorded):
+
+* ``name(...)`` — through the module's import/definition bindings;
+  constructor calls resolve to the class's ``__init__`` and type the
+  assigned local.
+* ``self.m(...)`` / ``cls.m(...)`` / ``super().m(...)`` — through the
+  project class hierarchy (MRO approximation: depth-first over project
+  bases).
+* ``expr.m(...)`` — through the shallow type environment: annotated
+  parameters, ``self.<attr>`` types inferred from assignments and
+  annotations, locals typed by constructor calls / typed attribute
+  loads / project-function return annotations.
+* Calls on **external** receivers (``np.zeros``, ``threading.Lock``)
+  are *resolved-external*: they cannot reach project code and are
+  skipped.
+* Everything else — unknown receiver type, method missing from the
+  hierarchy, calling a parameter or closure — becomes an
+  :class:`OpenEdge` with a reason. Open edges are never silently
+  dropped; ``graphsd lint --graph-debug`` prints them.
+
+Nested functions and lambdas are attributed to their enclosing
+top-level function or method; module-level code is attributed to a
+synthetic ``<module>`` node per module.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.graph.symbols import (
+    FunctionInfo,
+    SymbolTable,
+    annotation_class_name,
+    module_name_of,
+    param_types,
+)
+
+_BUILTIN_NAMES: Set[str] = set(dir(builtins))
+
+
+@dataclass
+class CallEdge:
+    """One resolved call: ``caller`` invokes ``callee`` at ``lineno``."""
+
+    caller: str
+    callee: str
+    lineno: int
+    node: ast.Call
+
+
+@dataclass
+class OpenEdge:
+    """One call the resolver could not attribute to a project function."""
+
+    caller: str
+    expr: str
+    lineno: int
+    reason: str
+
+
+@dataclass
+class Ref:
+    """A project function referenced as a *value* (not called) — the
+    shape of thread-target / callback escapes."""
+
+    user: str
+    target: str
+    lineno: int
+
+
+@dataclass
+class CallGraph:
+    edges: List[CallEdge] = field(default_factory=list)
+    open_edges: List[OpenEdge] = field(default_factory=list)
+    refs: List[Ref] = field(default_factory=list)
+    #: callee fqn -> incoming edges / caller fqn -> outgoing edges.
+    callers: Dict[str, List[CallEdge]] = field(default_factory=dict)
+    callees: Dict[str, List[CallEdge]] = field(default_factory=dict)
+
+    def add(self, edge: CallEdge) -> None:
+        self.edges.append(edge)
+        self.callers.setdefault(edge.callee, []).append(edge)
+        self.callees.setdefault(edge.caller, []).append(edge)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _FunctionResolver:
+    """Resolves the calls of one function body."""
+
+    def __init__(
+        self,
+        table: SymbolTable,
+        graph: CallGraph,
+        fn_fqn: str,
+        body_owner: Optional[FunctionInfo],
+        module: str,
+    ) -> None:
+        self.table = table
+        self.graph = graph
+        self.fqn = fn_fqn
+        self.module = module
+        self.class_fqn = body_owner.class_fqn if body_owner else None
+        #: name -> project class fqn for params and locals.
+        self.env: Dict[str, str] = {}
+        if body_owner is not None:
+            self.env.update(param_types(table, body_owner))
+
+    # -- type environment --------------------------------------------------
+
+    def type_of(self, node: ast.AST) -> Optional[str]:
+        """Project-class FQN of an expression, or None."""
+        if isinstance(node, ast.Name):
+            if node.id in ("self", "cls") and self.class_fqn is not None:
+                return self.class_fqn
+            return self.env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.type_of(node.value)
+            if base is not None:
+                return self.table.attr_type(base, node.attr)
+            # Module attribute: ``mod.Class`` used as a value.
+            dotted = _dotted(node)
+            if dotted is not None:
+                resolved = self.table.resolve_in_module(self.module, dotted)
+                if resolved in self.table.classes:
+                    return resolved
+            return None
+        if isinstance(node, ast.Call):
+            return self._call_result_type(node)
+        return None
+
+    def _call_result_type(self, node: ast.Call) -> Optional[str]:
+        target = self._resolve_call_target(node, record=False)
+        if target is None:
+            return None
+        if target in self.table.classes:
+            return target
+        fn = self.table.functions.get(target)
+        if fn is None:
+            return None
+        returns = annotation_class_name(getattr(fn.node, "returns", None))
+        if returns is None:
+            return None
+        resolved = self.table.resolve_in_module(module_name_of(fn.rel), returns)
+        if resolved in self.table.classes:
+            return resolved
+        return None
+
+    def _is_external(self, node: ast.AST) -> bool:
+        """Does the expression root at an external import binding?"""
+        dotted = _dotted(node)
+        if dotted is None:
+            return False
+        head = dotted.split(".")[0]
+        info = self.table.modules.get(self.module)
+        bound = info.bindings.get(head) if info else None
+        return bound is not None and bound.startswith("ext:")
+
+    # -- call resolution ---------------------------------------------------
+
+    def _resolve_call_target(
+        self, node: ast.Call, record: bool = True
+    ) -> Optional[str]:
+        """FQN of the called project function/class, or None.
+
+        With ``record=True`` unresolvable calls become open edges.
+        """
+        func = node.func
+
+        def open_edge(reason: str) -> None:
+            if record:
+                self.graph.open_edges.append(
+                    OpenEdge(
+                        caller=self.fqn,
+                        expr=_dotted(func) or ast.unparse(func),
+                        lineno=node.lineno,
+                        reason=reason,
+                    )
+                )
+
+        if isinstance(func, ast.Name):
+            resolved = self.table.resolve_in_module(self.module, func.id)
+            if resolved is not None:
+                return resolved
+            if func.id in self.env or not (
+                func.id in _BUILTIN_NAMES
+                or self._binds_external(func.id)
+            ):
+                open_edge("dynamic callable (local/parameter or unresolved name)")
+            return None
+        if isinstance(func, ast.Attribute):
+            # super().m(...)
+            if (
+                isinstance(func.value, ast.Call)
+                and isinstance(func.value.func, ast.Name)
+                and func.value.func.id == "super"
+                and self.class_fqn is not None
+            ):
+                for cls in self.table.mro(self.class_fqn)[1:]:
+                    m = cls.methods.get(func.attr)
+                    if m is not None:
+                        return m
+                open_edge("super() method not found in project hierarchy")
+                return None
+            recv_type = self.type_of(func.value)
+            if recv_type is not None:
+                found = self.table.lookup_method(recv_type, func.attr)
+                if found is not None:
+                    return found.fqn
+                open_edge(
+                    f"method .{func.attr} not found on {recv_type} "
+                    "(dynamically attached or external base)"
+                )
+                return None
+            dotted = _dotted(func)
+            if dotted is not None:
+                resolved = self.table.resolve_in_module(self.module, dotted)
+                if resolved is not None:
+                    return resolved
+            if self._is_external(func.value) or self._is_literal(func.value):
+                return None  # resolved-external, cannot reach project code
+            open_edge("unknown receiver type")
+            return None
+        open_edge("computed callee expression")
+        return None
+
+    def _binds_external(self, name: str) -> bool:
+        info = self.table.modules.get(self.module)
+        bound = info.bindings.get(name) if info else None
+        return bound is not None and bound.startswith("ext:")
+
+    @staticmethod
+    def _is_literal(node: ast.AST) -> bool:
+        return isinstance(
+            node,
+            (ast.Constant, ast.JoinedStr, ast.List, ast.Tuple, ast.Dict, ast.Set),
+        )
+
+    # -- body walk ---------------------------------------------------------
+
+    def run(self, body: List[ast.stmt]) -> None:
+        call_funcs: Set[int] = set()
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    call_funcs.add(id(node.func))
+        # Type locals from assignments, in source order, before resolving
+        # (shallow flow-insensitivity: last assignment wins globally; the
+        # project's hot paths assign collaborator locals exactly once).
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name):
+                        t = self.type_of(node.value)
+                        if t is not None:
+                            self.env[target.id] = t
+                elif isinstance(node, ast.AnnAssign) and isinstance(
+                    node.target, ast.Name
+                ):
+                    t = annotation_class_name(node.annotation)
+                    if t is not None:
+                        resolved = self.table.resolve_in_module(self.module, t)
+                        if resolved in self.table.classes:
+                            self.env[node.target.id] = resolved
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    target = self._resolve_call_target(node)
+                    if target is None:
+                        continue
+                    if target in self.table.classes:
+                        init = self.table.lookup_method(target, "__init__")
+                        if init is not None:
+                            target = init.fqn
+                        else:
+                            continue
+                    if target in self.table.functions:
+                        self.graph.add(
+                            CallEdge(
+                                caller=self.fqn,
+                                callee=target,
+                                lineno=node.lineno,
+                                node=node,
+                            )
+                        )
+                elif (
+                    isinstance(node, (ast.Name, ast.Attribute))
+                    and isinstance(getattr(node, "ctx", None), ast.Load)
+                    and id(node) not in call_funcs
+                ):
+                    self._record_ref(node)
+
+    def _record_ref(self, node: ast.AST) -> None:
+        """Record project *methods* referenced as values (escapes)."""
+        if not isinstance(node, ast.Attribute):
+            return
+        recv_type = self.type_of(node.value)
+        if recv_type is None:
+            return
+        found = self.table.lookup_method(recv_type, node.attr)
+        if found is not None:
+            self.graph.refs.append(
+                Ref(user=self.fqn, target=found.fqn, lineno=node.lineno)
+            )
+
+
+def module_node_fqn(module: str) -> str:
+    """The synthetic call-graph node for a module's top-level code."""
+    return f"{module}.<module>"
+
+
+def build_call_graph(table: SymbolTable) -> CallGraph:
+    """Resolve every call site in the project."""
+    graph = CallGraph()
+    for fn in table.functions.values():
+        module = module_name_of(fn.rel)
+        resolver = _FunctionResolver(table, graph, fn.fqn, fn, module)
+        resolver.run(list(fn.node.body))
+    for info in table.modules.values():
+        top_level: List[ast.stmt] = [
+            stmt
+            for stmt in info.sf.tree.body
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        ]
+        if top_level:
+            resolver = _FunctionResolver(
+                table, graph, module_node_fqn(info.name), None, info.name
+            )
+            resolver.run(top_level)
+    return graph
+
+
+def shortest_chain(
+    graph: CallGraph,
+    start: str,
+    targets: Set[str],
+    blocked: Set[str],
+) -> Optional[List[str]]:
+    """Shortest caller chain from any of ``targets`` down to ``start``.
+
+    Walks *incoming* edges from ``start``; never traverses through a
+    ``blocked`` node (the charged-substrate mediators). Returns the
+    chain ``[entry, ..., start]`` or None.
+    """
+    from collections import deque
+
+    parent: Dict[str, Optional[str]] = {start: None}
+    q = deque([start])
+    while q:
+        cur = q.popleft()
+        if cur in targets:
+            chain = []
+            walk: Optional[str] = cur
+            while walk is not None:
+                chain.append(walk)
+                walk = parent[walk]
+            return chain
+        for edge in graph.callers.get(cur, ()):  # edges into cur
+            nxt = edge.caller
+            if nxt in parent or nxt in blocked:
+                continue
+            parent[nxt] = cur
+            q.append(nxt)
+    return None
+
+
+__all__ = [
+    "CallEdge",
+    "CallGraph",
+    "OpenEdge",
+    "Ref",
+    "build_call_graph",
+    "module_node_fqn",
+    "shortest_chain",
+]

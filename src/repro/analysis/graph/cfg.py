@@ -1,0 +1,300 @@
+"""Per-function control-flow graphs at statement granularity.
+
+One :class:`CFGNode` per simple statement plus synthetic ``entry``,
+``exit`` (normal return) and ``raise_exit`` (unhandled exception)
+nodes. Structured statements contribute their header as a node and
+their bodies recursively:
+
+* ``if`` — header branches to both arms, arms join after.
+* ``while``/``for`` — header branches into the body and past the loop;
+  the body's tail has a **back edge** to the header; ``break`` jumps to
+  the loop exit, ``continue`` to the header; a loop ``else`` runs on
+  normal exhaustion.
+* ``try`` — every *can-raise* statement in the body has an exceptional
+  edge to each handler entry (and to ``finally`` when present); handler
+  and ``else`` bodies route through ``finally``; ``finally`` completes
+  to the statement after the ``try`` **and** to ``raise_exit`` (it may
+  be finishing an in-flight exception).
+* a statement outside any ``try`` that can raise (contains a call) has
+  an exceptional edge straight to ``raise_exit``.
+
+``raise_exit`` is wired to ``exit`` so post-dominance is computed over
+a single exit; the resource-lifecycle rule distinguishes the two when
+explaining a leak. *Can raise* is approximated as "contains a Call or
+Raise" — attribute access and arithmetic can raise in principle, but
+the approximation keeps exceptional edges where leaks actually happen
+without drowning the graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+#: Edge kinds (informational; traversals treat them alike unless noted).
+NORMAL = "normal"
+TRUE = "true"
+FALSE = "false"
+BACK = "back"
+EXCEPTION = "exception"
+
+
+@dataclass
+class CFGNode:
+    id: int
+    stmt: Optional[ast.stmt]  # None for synthetic nodes
+    label: str
+    succs: List[Tuple[int, str]] = field(default_factory=list)
+    preds: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self) -> None:
+        self.nodes: List[CFGNode] = []
+        self.entry = self._new(None, "<entry>").id
+        self.exit = self._new(None, "<exit>").id
+        self.raise_exit = self._new(None, "<raise-exit>").id
+        #: ast statement id() -> node id (same process as the build).
+        self.node_of_stmt: Dict[int, int] = {}
+        self._edge(self.raise_exit, self.exit, NORMAL)
+
+    # -- construction helpers ----------------------------------------------
+
+    def _new(self, stmt: Optional[ast.stmt], label: str) -> CFGNode:
+        node = CFGNode(id=len(self.nodes), stmt=stmt, label=label)
+        self.nodes.append(node)
+        return node
+
+    def _edge(self, src: int, dst: int, kind: str) -> None:
+        if (dst, kind) not in self.nodes[src].succs:
+            self.nodes[src].succs.append((dst, kind))
+            self.nodes[dst].preds.append((src, kind))
+
+    # -- queries -----------------------------------------------------------
+
+    def successors(self, nid: int) -> List[int]:
+        return [dst for dst, _ in self.nodes[nid].succs]
+
+    def predecessors(self, nid: int) -> List[int]:
+        return [src for src, _ in self.nodes[nid].preds]
+
+    def reachable_without(
+        self, start: int, barrier: Set[int]
+    ) -> Set[int]:
+        """Nodes reachable from ``start`` along paths avoiding ``barrier``.
+
+        ``start`` itself is expanded even if in ``barrier`` (the barrier
+        blocks *passing through*, not leaving).
+        """
+        seen: Set[int] = set()
+        stack = [dst for dst, _ in self.nodes[start].succs]
+        while stack:
+            cur = stack.pop()
+            if cur in seen or cur in barrier:
+                continue
+            seen.add(cur)
+            stack.extend(self.successors(cur))
+        return seen
+
+    def postdominators(self) -> Dict[int, Set[int]]:
+        """``{node: set of its post-dominators}`` (node included)."""
+        return _dominators(self, self.exit, reverse=True)
+
+    def dominators(self) -> Dict[int, Set[int]]:
+        """``{node: set of its dominators}`` (node included)."""
+        return _dominators(self, self.entry, reverse=False)
+
+
+def _dominators(cfg: CFG, root: int, reverse: bool) -> Dict[int, Set[int]]:
+    ids = [n.id for n in cfg.nodes]
+    preds = cfg.successors if reverse else cfg.predecessors
+    dom: Dict[int, Set[int]] = {n: set(ids) for n in ids}
+    dom[root] = {root}
+    changed = True
+    while changed:
+        changed = False
+        for n in ids:
+            if n == root:
+                continue
+            ps = preds(n)
+            if ps:
+                new = set.intersection(*(dom[p] for p in ps)) | {n}
+            else:
+                new = {n}
+            if new != dom[n]:
+                dom[n] = new
+                changed = True
+    return dom
+
+
+def _can_raise(stmt: ast.stmt) -> bool:
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Call, ast.Raise, ast.Assert)):
+            return True
+    return False
+
+
+class _Builder:
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        #: innermost-first (handler targets, finally target) for try scopes.
+        self.exc_targets: List[List[int]] = []
+        #: (loop header, loop exit join) for break/continue.
+        self.loops: List[Tuple[int, int]] = []
+
+    # frontier: node ids whose normal successor is the next statement.
+
+    def build(self, body: List[ast.stmt]) -> None:
+        frontier = self.seq(body, [self.cfg.entry])
+        for nid in frontier:
+            self.cfg._edge(nid, self.cfg.exit, NORMAL)
+
+    def seq(self, body: Iterable[ast.stmt], frontier: List[int]) -> List[int]:
+        for stmt in body:
+            frontier = self.stmt(stmt, frontier)
+        return frontier
+
+    def _link(self, frontier: List[int], nid: int, kind: str = NORMAL) -> None:
+        for src in frontier:
+            self.cfg._edge(src, nid, kind)
+
+    def _exceptional(self, nid: int) -> None:
+        """Wire an exceptional edge for a can-raise node."""
+        if self.exc_targets:
+            for target in self.exc_targets[-1]:
+                self.cfg._edge(nid, target, EXCEPTION)
+        else:
+            self.cfg._edge(nid, self.cfg.raise_exit, EXCEPTION)
+
+    def stmt(self, stmt: ast.stmt, frontier: List[int]) -> List[int]:
+        cfg = self.cfg
+        node = cfg._new(stmt, type(stmt).__name__)
+        cfg.node_of_stmt[id(stmt)] = node.id
+        self._link(frontier, node.id)
+        if _can_raise(stmt) or isinstance(stmt, (ast.Try, ast.With, ast.AsyncWith)):
+            self._exceptional(node.id)
+
+        if isinstance(stmt, ast.If):
+            then_out = self.seq(stmt.body, [node.id])
+            else_out = self.seq(stmt.orelse, [node.id]) if stmt.orelse else [node.id]
+            return then_out + else_out
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            join = cfg._new(None, "<loop-exit>")
+            self.loops.append((node.id, join.id))
+            body_out = self.seq(stmt.body, [node.id])
+            for nid in body_out:
+                cfg._edge(nid, node.id, BACK)
+            self.loops.pop()
+            if stmt.orelse:
+                else_out = self.seq(stmt.orelse, [node.id])
+                self._link(else_out, join.id)
+            else:
+                cfg._edge(node.id, join.id, FALSE)
+            return [join.id]
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self.seq(stmt.body, [node.id])
+
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, node.id)
+
+        if isinstance(stmt, ast.Return):
+            cfg._edge(node.id, cfg.exit, NORMAL)
+            return []
+        if isinstance(stmt, ast.Raise):
+            self._exceptional(node.id)
+            return []
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                cfg._edge(node.id, self.loops[-1][1], NORMAL)
+            return []
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                cfg._edge(node.id, self.loops[-1][0], BACK)
+            return []
+
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return [node.id]  # nested definitions: opaque single nodes
+
+        return [node.id]
+
+    def _try(self, stmt: ast.Try, try_node: int) -> List[int]:
+        cfg = self.cfg
+        handler_entries: List[int] = []
+        handler_nodes: List[ast.ExceptHandler] = list(stmt.handlers)
+        finally_entry: Optional[int] = None
+        if stmt.finalbody:
+            finally_entry = cfg._new(None, "<finally>").id
+
+        # Pre-create handler header nodes so body statements can target them.
+        headers: List[int] = []
+        for handler in handler_nodes:
+            h = cfg._new(None, f"<except {ast.unparse(handler.type) if handler.type else ''}>")
+            cfg.node_of_stmt[id(handler)] = h.id
+            headers.append(h.id)
+        targets = list(headers)
+        if finally_entry is not None:
+            targets.append(finally_entry)
+
+        self.exc_targets.append(targets)
+        body_out = self.seq(stmt.body, [try_node])
+        self.exc_targets.pop()
+
+        else_out = self.seq(stmt.orelse, body_out) if stmt.orelse else body_out
+
+        after: List[int] = []
+        handler_tails: List[int] = []
+        for handler, header in zip(handler_nodes, headers):
+            # A raise inside a handler escapes to the finally (or out).
+            if finally_entry is not None:
+                self.exc_targets.append([finally_entry])
+            tail = self.seq(handler.body, [header])
+            if finally_entry is not None:
+                self.exc_targets.pop()
+            handler_tails.extend(tail)
+
+        if finally_entry is not None:
+            self._link(else_out + handler_tails, finally_entry)
+            fin_out = self.seq(stmt.finalbody, [finally_entry])
+            # The finally may be completing an in-flight exception.
+            for nid in fin_out:
+                self._exceptional_at(nid)
+            after = fin_out
+        else:
+            after = else_out + handler_tails
+        return after
+
+    def _exceptional_at(self, nid: int) -> None:
+        if len(self.exc_targets) > 0:
+            for target in self.exc_targets[-1]:
+                self.cfg._edge(nid, target, EXCEPTION)
+        else:
+            self.cfg._edge(nid, self.cfg.raise_exit, EXCEPTION)
+
+
+def build_cfg(fn_node: ast.AST) -> CFG:
+    """CFG for a FunctionDef/AsyncFunctionDef (or any statement list)."""
+    cfg = CFG()
+    body = getattr(fn_node, "body", fn_node)
+    _Builder(cfg).build(list(body))
+    return cfg
+
+
+__all__ = [
+    "BACK",
+    "CFG",
+    "CFGNode",
+    "EXCEPTION",
+    "FALSE",
+    "NORMAL",
+    "TRUE",
+    "build_cfg",
+]

@@ -1,0 +1,120 @@
+"""Dataflow over the CFG: reaching definitions and value lookup.
+
+Classic forward may-analysis at statement granularity: a definition of
+``x`` at node *d* reaches node *n* when some CFG path from *d* to *n*
+has no intervening redefinition. The determinism rule uses it to type a
+loop's iterable (*all* reaching definitions build a set → iterating it
+is hash-ordered); the tests exercise try/finally, early returns and
+loop back-edges directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.graph.cfg import CFG
+
+#: Synthetic definition site for parameters (reaching from function entry).
+ENTRY_DEF = -1
+
+
+def defined_names(stmt: ast.stmt) -> List[str]:
+    """Names (re)bound by one statement, outermost targets only."""
+    out: List[str] = []
+
+    def target_names(node: ast.AST) -> None:
+        if isinstance(node, ast.Name):
+            out.append(node.id)
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            for el in node.elts:
+                target_names(el)
+        elif isinstance(node, ast.Starred):
+            target_names(node.value)
+
+    if isinstance(stmt, ast.Assign):
+        for t in stmt.targets:
+            target_names(t)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        target_names(stmt.target)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        target_names(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                target_names(item.optional_vars)
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            out.append(alias.asname or alias.name.split(".")[0])
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        out.append(stmt.name)
+    # Walrus assignments anywhere inside the statement.
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.NamedExpr) and isinstance(node.target, ast.Name):
+            out.append(node.target.id)
+    return out
+
+
+def reaching_definitions(
+    cfg: CFG, params: Optional[List[str]] = None
+) -> Dict[int, Dict[str, Set[int]]]:
+    """``{node id: {name: definition node ids reaching its entry}}``.
+
+    ``params`` seed the entry node with :data:`ENTRY_DEF` definitions.
+    """
+    gen: Dict[int, Dict[str, int]] = {}
+    for node in cfg.nodes:
+        if node.stmt is not None:
+            gen[node.id] = {name: node.id for name in defined_names(node.stmt)}
+        else:
+            gen[node.id] = {}
+
+    in_sets: Dict[int, Dict[str, Set[int]]] = {n.id: {} for n in cfg.nodes}
+    in_sets[cfg.entry] = {p: {ENTRY_DEF} for p in (params or [])}
+
+    def out_set(nid: int) -> Dict[str, Set[int]]:
+        result = {k: set(v) for k, v in in_sets[nid].items()}
+        for name, d in gen[nid].items():
+            result[name] = {d}
+        return result
+
+    changed = True
+    while changed:
+        changed = False
+        for node in cfg.nodes:
+            if node.id == cfg.entry:
+                continue
+            merged: Dict[str, Set[int]] = {}
+            for pred in cfg.predecessors(node.id):
+                for name, defs in out_set(pred).items():
+                    merged.setdefault(name, set()).update(defs)
+            if merged != in_sets[node.id]:
+                in_sets[node.id] = merged
+                changed = True
+    return in_sets
+
+
+def assigned_value(stmt: ast.stmt, name: str) -> Optional[ast.AST]:
+    """The expression assigned to ``name`` by ``stmt``, when simple.
+
+    Tuple unpacking, loop targets and ``with ... as`` bindings return
+    None — their element values are not statically separable.
+    """
+    if isinstance(stmt, ast.Assign):
+        for t in stmt.targets:
+            if isinstance(t, ast.Name) and t.id == name:
+                return stmt.value
+    elif isinstance(stmt, ast.AnnAssign):
+        if isinstance(stmt.target, ast.Name) and stmt.target.id == name:
+            return stmt.value if stmt.value is not None else stmt.annotation
+    for node in ast.walk(stmt):
+        if (
+            isinstance(node, ast.NamedExpr)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == name
+        ):
+            return node.value
+    return None
+
+
+__all__ = ["ENTRY_DEF", "assigned_value", "defined_names", "reaching_definitions"]

@@ -1,0 +1,154 @@
+"""The assembled whole-program view, with a content-hash pickle cache.
+
+:class:`ProjectGraph` ties the passes together: parsed sources → symbol
+table → call graph, plus lazily-built per-function CFGs. Construction
+is pure (a function of the source bytes alone), so the pickled graph is
+cached keyed by a hash over every ``(path, content)`` pair — any edit
+anywhere invalidates the key. ``graphsd lint --graph-cache DIR`` (and
+the CI lint job) reuse the cache; ``--changed`` runs lint a subset of
+files against the same shared graph.
+
+CFGs are *not* pickled: their statement-to-node maps key off AST object
+identity, which does not survive a pickle round-trip. They rebuild
+lazily against whichever AST objects the graph currently holds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.graph.callgraph import CallGraph, build_call_graph
+from repro.analysis.graph.cfg import CFG, build_cfg
+from repro.analysis.graph.symbols import (
+    FunctionInfo,
+    SymbolTable,
+    build_symbol_table,
+)
+from repro.analysis.source import SourceFile
+
+#: Bump when the graph layout changes; part of the cache key.
+GRAPH_FORMAT_VERSION = 1
+
+
+class ProjectGraph:
+    """Symbols + call graph + on-demand CFGs over one set of sources."""
+
+    def __init__(self, sources: List[SourceFile]) -> None:
+        self.sources: Dict[str, SourceFile] = {sf.rel: sf for sf in sources}
+        self.symbols: SymbolTable = build_symbol_table(sources)
+        self.callgraph: CallGraph = build_call_graph(self.symbols)
+        self._cfgs: Dict[str, CFG] = {}
+
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state["_cfgs"] = {}  # id()-keyed maps do not survive unpickling
+        return state
+
+    # -- accessors ---------------------------------------------------------
+
+    def source(self, rel: str) -> Optional[SourceFile]:
+        return self.sources.get(rel)
+
+    def functions(self) -> Iterable[FunctionInfo]:
+        return self.symbols.functions.values()
+
+    def cfg_of(self, fqn: str) -> Optional[CFG]:
+        """The function's CFG, built on first use."""
+        if fqn not in self._cfgs:
+            fn = self.symbols.functions.get(fqn)
+            if fn is None:
+                return None
+            self._cfgs[fqn] = build_cfg(fn.node)
+        return self._cfgs[fqn]
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "modules": len(self.symbols.modules),
+            "classes": len(self.symbols.classes),
+            "functions": len(self.symbols.functions),
+            "call_edges": len(self.callgraph.edges),
+            "open_edges": len(self.callgraph.open_edges),
+            "value_refs": len(self.callgraph.refs),
+        }
+
+    def debug_render(self, max_open: int = 40) -> str:
+        """Human-readable summary for ``graphsd lint --graph-debug``."""
+        lines = ["project graph:"]
+        for key, value in self.stats().items():
+            lines.append(f"  {key}: {value}")
+        seen = set()
+        shown = 0
+        lines.append(f"open edges (first {max_open} distinct):")
+        for oe in self.callgraph.open_edges:
+            key = (oe.caller, oe.expr, oe.reason)
+            if key in seen:
+                continue
+            seen.add(key)
+            lines.append(f"  {oe.caller}:{oe.lineno} -> {oe.expr} [{oe.reason}]")
+            shown += 1
+            if shown >= max_open:
+                lines.append(f"  ... {len(self.callgraph.open_edges)} total")
+                break
+        return "\n".join(lines)
+
+
+def sources_key(sources: List[SourceFile]) -> str:
+    """Content hash over every ``(rel, text)`` pair, order-independent."""
+    h = hashlib.sha256()
+    h.update(f"v{GRAPH_FORMAT_VERSION}".encode())
+    for sf in sorted(sources, key=lambda s: s.rel):
+        h.update(sf.rel.encode())
+        h.update(b"\0")
+        h.update(sf.text.encode())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+def build_project_graph(
+    sources: List[SourceFile], cache_dir: Optional[Path] = None
+) -> ProjectGraph:
+    """Build (or load from ``cache_dir``) the project graph.
+
+    A corrupt or unreadable cache entry is ignored and rebuilt — the
+    cache is an accelerator, never a correctness dependency.
+    """
+    if cache_dir is None:
+        return ProjectGraph(sources)
+    cache_dir = Path(cache_dir)
+    key = sources_key(sources)
+    path = cache_dir / f"project-graph-{key[:24]}.pkl"
+    if path.exists():
+        try:
+            # charged-io-ok: host-side analysis cache, not simulated graph I/O
+            with open(path, "rb") as f:
+                graph = pickle.load(f)
+            if isinstance(graph, ProjectGraph):
+                return graph
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            pass  # stale/corrupt cache: rebuild below
+    graph = ProjectGraph(sources)
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        # charged-io-ok: host-side analysis cache, not simulated graph I/O
+        with open(tmp, "wb") as f:
+            pickle.dump(graph, f)
+        tmp.replace(path)
+    except OSError:
+        pass  # read-only checkout: run uncached
+    return graph
+
+
+__all__ = [
+    "GRAPH_FORMAT_VERSION",
+    "ProjectGraph",
+    "build_project_graph",
+    "sources_key",
+]

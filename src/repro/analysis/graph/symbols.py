@@ -1,0 +1,450 @@
+"""Project symbol table: modules, classes, functions, import bindings.
+
+Every entity gets a fully-qualified name (FQN) rooted at the package
+name (``repro.core.sciu.run_sciu_round``,
+``repro.storage.prefetch.BlockPrefetcher._bump``). Import bindings are
+recorded per module and chased through re-exporting ``__init__``
+modules, so ``from repro.storage import Device`` resolves to the class's
+defining module. Names bound to modules outside the project resolve to
+``ext:<module>`` markers — downstream passes treat calls through them as
+open edges rather than guessing.
+
+Attribute-type inference is deliberately shallow and explicit: a
+``self.x = ClassName(...)`` assignment (any method), a ``self.x: T``
+annotation, or a class-body ``x: T`` annotation gives attribute ``x``
+the project class ``T`` when the name resolves; everything else has no
+type. The call-graph builder only dispatches through *known* types and
+records the rest as open edges, so shallow inference degrades to
+explicit uncertainty, never to wrong edges.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.source import SourceFile
+
+#: Root package name all FQNs hang off.
+PACKAGE = "repro"
+
+#: Container kinds tracked for the iteration-order rule.
+SET_KIND = "set"
+DICT_KIND = "dict"
+
+
+def module_name_of(rel: str) -> str:
+    """Dotted module name for a package-relative path.
+
+    ``core/sciu.py`` -> ``repro.core.sciu``; ``storage/__init__.py`` ->
+    ``repro.storage``; a bare ``fixture.py`` -> ``repro.fixture``.
+    """
+    parts = rel[:-3].split("/") if rel.endswith(".py") else rel.split("/")
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join([PACKAGE] + [p for p in parts if p])
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    fqn: str
+    name: str
+    rel: str  # source file, package-relative
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_fqn: Optional[str] = None  # owning class, None for module-level
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_fqn is not None
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its immediate bases and attribute types."""
+
+    fqn: str
+    name: str
+    rel: str
+    node: ast.ClassDef
+    base_exprs: List[str] = field(default_factory=list)  # as written
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> fqn
+    attr_types: Dict[str, str] = field(default_factory=dict)  # attr -> class fqn
+    attr_containers: Dict[str, str] = field(default_factory=dict)  # attr -> kind
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module: its bindings and top-level definitions."""
+
+    rel: str
+    name: str  # dotted module name
+    sf: SourceFile
+    bindings: Dict[str, str] = field(default_factory=dict)  # local name -> FQN/ext
+    functions: Dict[str, str] = field(default_factory=dict)  # local name -> fqn
+    classes: Dict[str, str] = field(default_factory=dict)  # local name -> fqn
+
+
+class SymbolTable:
+    """All modules, classes and functions of the project, by FQN."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}  # dotted name -> info
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve(self, fqn: str) -> Optional[str]:
+        """Canonical FQN for ``fqn``, chasing re-export chains.
+
+        ``repro.storage.Device`` (bound in the package ``__init__``)
+        resolves to ``repro.storage.blockfile.Device``. Returns None for
+        names that never land on a project definition.
+        """
+        seen = set()
+        while fqn not in self.functions and fqn not in self.classes:
+            if fqn in seen or fqn.startswith("ext:"):
+                return None
+            seen.add(fqn)
+            mod, _, leaf = fqn.rpartition(".")
+            info = self.modules.get(mod)
+            if info is None or leaf not in info.bindings:
+                return None
+            fqn = info.bindings[leaf]
+        return fqn
+
+    def resolve_in_module(self, module: str, dotted: str) -> Optional[str]:
+        """Resolve a dotted name as used inside ``module``'s code.
+
+        The head segment is looked up in the module's bindings (imports,
+        local defs); the remaining segments are appended and the result
+        chased through :meth:`resolve`. ``np.zeros`` under ``import
+        numpy as np`` returns None (external).
+        """
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = info.bindings.get(head)
+        if target is None or target.startswith("ext:"):
+            return None
+        full = f"{target}.{rest}" if rest else target
+        resolved = self.resolve(full)
+        if resolved is not None:
+            return resolved
+        # The head may be a module object (``import repro.core.sciu``):
+        # try the longest module-name prefix of the dotted path.
+        if full in self.modules:
+            return full
+        return None
+
+    def mro(self, class_fqn: str) -> List[ClassInfo]:
+        """The class and its project base classes, depth-first.
+
+        External bases are skipped (their methods are unknowable
+        statically); cycles are tolerated.
+        """
+        out: List[ClassInfo] = []
+        seen = set()
+
+        def visit(fqn: str) -> None:
+            if fqn in seen:
+                return
+            seen.add(fqn)
+            info = self.classes.get(fqn)
+            if info is None:
+                return
+            out.append(info)
+            module = module_name_of(info.rel)
+            for base in info.base_exprs:
+                resolved = self.resolve_in_module(module, base)
+                if resolved is not None and resolved in self.classes:
+                    visit(resolved)
+
+        visit(class_fqn)
+        return out
+
+    def lookup_method(self, class_fqn: str, name: str) -> Optional[FunctionInfo]:
+        """Resolve ``name`` through the class hierarchy."""
+        for cls in self.mro(class_fqn):
+            fqn = cls.methods.get(name)
+            if fqn is not None:
+                return self.functions.get(fqn)
+        return None
+
+    def attr_type(self, class_fqn: str, attr: str) -> Optional[str]:
+        """Inferred project-class type of ``self.<attr>``, through bases."""
+        for cls in self.mro(class_fqn):
+            t = cls.attr_types.get(attr)
+            if t is not None:
+                return t
+        return None
+
+    def attr_container(self, class_fqn: str, attr: str) -> Optional[str]:
+        """Inferred container kind (set/dict) of ``self.<attr>``."""
+        for cls in self.mro(class_fqn):
+            kind = cls.attr_containers.get(attr)
+            if kind is not None:
+                return kind
+        return None
+
+
+# -- construction ------------------------------------------------------------
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def annotation_class_name(node: Optional[ast.AST]) -> Optional[str]:
+    """The dotted class name an annotation denotes, unwrapping
+    ``Optional[T]`` / ``"T"`` string forms; None when too dynamic."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):
+        head = _dotted(node.value)
+        if head is not None and head.split(".")[-1] == "Optional":
+            return annotation_class_name(node.slice)
+        return None
+    return _dotted(node)
+
+
+def container_kind_of(node: ast.AST) -> Optional[str]:
+    """SET_KIND/DICT_KIND when the expression builds a set or dict."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return SET_KIND
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return DICT_KIND
+    if isinstance(node, ast.Call):
+        name = _dotted(node.func)
+        if name in ("set", "frozenset"):
+            return SET_KIND
+        if name == "dict":
+            return DICT_KIND
+    return None
+
+
+_CONTAINER_ANNOTATIONS = {
+    "set": SET_KIND,
+    "Set": SET_KIND,
+    "FrozenSet": SET_KIND,
+    "frozenset": SET_KIND,
+    "dict": DICT_KIND,
+    "Dict": DICT_KIND,
+}
+
+
+def annotation_container_kind(node: Optional[ast.AST]) -> Optional[str]:
+    """Container kind named by an annotation (``Set[int]``, ``dict``)."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):
+        head = _dotted(node.value)
+        if head is not None and head.split(".")[-1] == "Optional":
+            return annotation_container_kind(node.slice)
+        node = node.value
+    name = _dotted(node)
+    if name is None:
+        return None
+    return _CONTAINER_ANNOTATIONS.get(name.split(".")[-1])
+
+
+def _record_imports(info: ModuleInfo, tree: ast.AST) -> None:
+    package_parts = info.name.split(".")
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                if alias.name.split(".")[0] == PACKAGE:
+                    info.bindings[bound] = alias.name if alias.asname else PACKAGE
+                else:
+                    info.bindings[bound] = f"ext:{alias.name}"
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # Relative import: resolve against this module's package.
+                base = package_parts[: len(package_parts) - node.level]
+                src = ".".join(base + ([node.module] if node.module else []))
+            else:
+                src = node.module or ""
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                if alias.name == "*":
+                    continue  # star imports are not used in the project
+                if src.split(".")[0] == PACKAGE:
+                    info.bindings[bound] = f"{src}.{alias.name}"
+                else:
+                    info.bindings[bound] = f"ext:{src}.{alias.name}"
+
+
+def _self_attr_target(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _collect_class(
+    table: SymbolTable, info: ModuleInfo, node: ast.ClassDef
+) -> None:
+    fqn = f"{info.name}.{node.name}"
+    cls = ClassInfo(
+        fqn=fqn,
+        name=node.name,
+        rel=info.rel,
+        node=node,
+        base_exprs=[b for b in (_dotted(base) for base in node.bases) if b],
+    )
+    table.classes[fqn] = cls
+    info.classes[node.name] = fqn
+    info.bindings.setdefault(node.name, fqn)
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            mfqn = f"{fqn}.{stmt.name}"
+            table.functions[mfqn] = FunctionInfo(
+                fqn=mfqn, name=stmt.name, rel=info.rel, node=stmt, class_fqn=fqn
+            )
+            cls.methods[stmt.name] = mfqn
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            t = annotation_class_name(stmt.annotation)
+            if t is not None:
+                cls.attr_types.setdefault(stmt.target.id, t)
+            kind = annotation_container_kind(stmt.annotation)
+            if kind is not None:
+                cls.attr_containers.setdefault(stmt.target.id, kind)
+    # self.<attr> assignments anywhere in the class body (methods).
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+            attr = _self_attr_target(sub.targets[0])
+            if attr is None:
+                continue
+            if isinstance(sub.value, ast.Call):
+                name = _dotted(sub.value.func)
+                if name is not None:
+                    cls.attr_types.setdefault(attr, name)  # resolved lazily
+            kind = container_kind_of(sub.value)
+            if kind is not None:
+                cls.attr_containers.setdefault(attr, kind)
+        elif isinstance(sub, ast.AnnAssign):
+            attr = _self_attr_target(sub.target)
+            if attr is None:
+                continue
+            t = annotation_class_name(sub.annotation)
+            if t is not None:
+                cls.attr_types.setdefault(attr, t)
+            kind = annotation_container_kind(sub.annotation)
+            if kind is None and sub.value is not None:
+                kind = container_kind_of(sub.value)
+            if kind is not None:
+                cls.attr_containers.setdefault(attr, kind)
+
+
+def build_symbol_table(sources: List[SourceFile]) -> SymbolTable:
+    """Build the project symbol table over parsed source files."""
+    table = SymbolTable()
+    for sf in sources:
+        info = ModuleInfo(rel=sf.rel, name=module_name_of(sf.rel), sf=sf)
+        table.modules[info.name] = info
+        _record_imports(info, sf.tree)
+        for node in sf.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fqn = f"{info.name}.{node.name}"
+                table.functions[fqn] = FunctionInfo(
+                    fqn=fqn, name=node.name, rel=sf.rel, node=node
+                )
+                info.functions[node.name] = fqn
+                info.bindings.setdefault(node.name, fqn)
+            elif isinstance(node, ast.ClassDef):
+                _collect_class(table, info, node)
+    # Attribute types were recorded as written; canonicalize the ones
+    # that resolve to project classes and drop the rest.
+    for cls in table.classes.values():
+        module = module_name_of(cls.rel)
+        resolved_types: Dict[str, str] = {}
+        for attr, written in cls.attr_types.items():
+            resolved = table.resolve_in_module(module, written)
+            if resolved is not None and resolved in table.classes:
+                resolved_types[attr] = resolved
+        cls.attr_types = resolved_types
+    return table
+
+
+def param_types(
+    table: SymbolTable, fn: FunctionInfo
+) -> Dict[str, str]:
+    """``{param name: class fqn}`` from annotations that resolve."""
+    module = module_name_of(fn.rel)
+    node = fn.node
+    out: Dict[str, str] = {}
+    args = getattr(node, "args", None)
+    if args is None:
+        return out
+    all_args: List[ast.arg] = (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    )
+    for a in all_args:
+        name = annotation_class_name(a.annotation)
+        if name is None:
+            continue
+        resolved = table.resolve_in_module(module, name)
+        if resolved is not None and resolved in table.classes:
+            out[a.arg] = resolved
+    return out
+
+
+def param_containers(fn: FunctionInfo) -> Dict[str, str]:
+    """``{param name: set|dict}`` from container annotations."""
+    node = fn.node
+    out: Dict[str, str] = {}
+    args = getattr(node, "args", None)
+    if args is None:
+        return out
+    for a in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+        kind = annotation_container_kind(a.annotation)
+        if kind is not None:
+            out[a.arg] = kind
+    return out
+
+
+__all__ = [
+    "ClassInfo",
+    "DICT_KIND",
+    "FunctionInfo",
+    "ModuleInfo",
+    "PACKAGE",
+    "SET_KIND",
+    "SymbolTable",
+    "annotation_class_name",
+    "annotation_container_kind",
+    "build_symbol_table",
+    "container_kind_of",
+    "module_name_of",
+    "param_containers",
+    "param_types",
+]

@@ -7,13 +7,18 @@ Annotation grammar (one annotation per line, trailing comment)::
 Two families exist:
 
 * **Escape hatches** (``sim-ok``, ``charged-io-ok``, ``dtype-ok``,
-  ``exception-ok``, ``unguarded-ok``): suppress one rule's finding on the
-  annotated line, or — for statements whose comment would not fit — on
-  the line immediately below the annotation. The reason is mandatory; an
-  empty reason is itself reported (rule ``GSD100``).
-* **Declarations** (``guarded-by``): not a suppression. Declares that
-  the field assigned on this line may only be accessed while holding the
-  named lock attribute (see the lock-discipline checker).
+  ``exception-ok``, ``unguarded-ok``, ``order-ok``, ``leak-ok``):
+  suppress one rule's finding on the annotated line, or — for statements
+  whose comment would not fit — on the line immediately below the
+  annotation. The reason is mandatory; an empty reason is itself
+  reported (rule ``GSD100``).
+* **Declarations** (``guarded-by``, ``lock-held``): not suppressions.
+  ``guarded-by`` declares that the field assigned on this line may only
+  be accessed while holding the named lock attribute (see the
+  lock-discipline checker). ``lock-held`` sits on a ``def`` line and
+  declares the function's calling convention: callers must already hold
+  ``self.<lock>`` — the lexical checker seeds the lock set from it and
+  the whole-program checker verifies every call site (GSD107).
 """
 
 from __future__ import annotations
@@ -32,8 +37,10 @@ ESCAPE_MARKERS = (
     "dtype-ok",
     "exception-ok",
     "unguarded-ok",
+    "order-ok",
+    "leak-ok",
 )
-DECLARATION_MARKERS = ("guarded-by",)
+DECLARATION_MARKERS = ("guarded-by", "lock-held")
 
 _MARKER_RE = re.compile(
     r"#\s*(" + "|".join(ESCAPE_MARKERS + DECLARATION_MARKERS) + r")\s*:\s*(.*)$"

@@ -74,7 +74,7 @@ def _add_breakdowns(a: TimeBreakdown, b: TimeBreakdown) -> TimeBreakdown:
     return TimeBreakdown(
         {
             k: a.components.get(k, 0.0) + b.components.get(k, 0.0)
-            for k in set(a.components) | set(b.components)
+            for k in sorted(set(a.components) | set(b.components))
         },
         overlap_saved=a.overlap_saved + b.overlap_saved,
     )

@@ -120,6 +120,7 @@ class ValueMessage:
     def nbytes(self) -> int:
         """Modeled wire size (payload + activation bits + framing)."""
         n = MESSAGE_HEADER_BYTES + self.activated.nbytes
+        # order-ok: integer byte counts — the sum is order-independent
         for arr in self.payload.values():
             n += arr.nbytes
         return n

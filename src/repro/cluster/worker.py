@@ -408,6 +408,7 @@ class ClusterWorker:
         owned_len = self.owned_vertex_count()
         out: Dict[str, Dict[int, np.ndarray]] = {}
         nbytes = 0
+        # order-ok: single-threaded init_state key order; reads must match write layout
         for name in self.state:
             flat = self._manager.load_state(name, owned_len, self.state[name].dtype)
             per_col: Dict[int, np.ndarray] = {}

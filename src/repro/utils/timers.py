@@ -78,14 +78,22 @@ class TimeBreakdown:
     components: Dict[str, float] = field(default_factory=dict)
     overlap_saved: float = 0.0
 
+    # Sums run in sorted-key order throughout: component dicts are
+    # filled concurrently (prefetch worker vs. consumer), so insertion
+    # order — and with it an unordered float sum — can differ between
+    # otherwise identical runs by a last-ulp rounding difference.
+
     @property
     def total(self) -> float:
-        return float(sum(self.components.values())) - self.overlap_saved
+        return (
+            float(sum(self.components[k] for k in sorted(self.components)))
+            - self.overlap_saved
+        )
 
     @property
     def serial_total(self) -> float:
         """The sum of all charges with no overlap credit (serial time)."""
-        return float(sum(self.components.values()))
+        return float(sum(self.components[k] for k in sorted(self.components)))
 
     @property
     def io(self) -> float:
@@ -109,7 +117,7 @@ class TimeBreakdown:
         }
 
     def __sub__(self, other: "TimeBreakdown") -> "TimeBreakdown":
-        keys = set(self.components) | set(other.components)
+        keys = sorted(set(self.components) | set(other.components))
         return TimeBreakdown(
             {k: self.components.get(k, 0.0) - other.components.get(k, 0.0) for k in keys},
             overlap_saved=self.overlap_saved - other.overlap_saved,
@@ -236,9 +244,15 @@ class SimClock:
         The no-argument total nets out any overlap savings; individual
         components always report their full charged time.
         """
+        # Sorted-key sums: _components' insertion order is a race between
+        # the prefetch worker (DISK charges) and the consumer (CPU), so
+        # an unordered float sum can drift by an ulp across runs.
         with self._lock:
             if component is None:
-                return float(sum(self._components.values())) - self._overlap_saved
+                return (
+                    float(sum(self._components[k] for k in sorted(self._components)))
+                    - self._overlap_saved
+                )
             return self._components.get(component, 0.0)
 
     def resource_elapsed(self, resource: str) -> float:
@@ -246,8 +260,8 @@ class SimClock:
         with self._lock:
             return float(
                 sum(
-                    seconds
-                    for component, seconds in self._components.items()
+                    self._components[component]
+                    for component in sorted(self._components)
                     if RESOURCE_OF.get(component, CPU) == resource
                 )
             )
@@ -280,7 +294,8 @@ class SimClock:
         with self._lock:
             disk = 0.0
             cpu = 0.0
-            for component, seconds in self._components.items():
+            for component in sorted(self._components):
+                seconds = self._components[component]
                 if RESOURCE_OF.get(component, CPU) == DISK:
                     disk += seconds
                 else:

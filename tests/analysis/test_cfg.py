@@ -1,0 +1,266 @@
+"""Per-function CFG construction and reaching definitions.
+
+Fixtures are parsed as module-level statement lists (``build_cfg``
+accepts any body); line numbers in assertions refer to the dedented
+fixture, so tests stay readable as "the statement on line N".
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.graph.cfg import (
+    BACK,
+    EXCEPTION,
+    NORMAL,
+    build_cfg,
+)
+from repro.analysis.graph.dataflow import (
+    ENTRY_DEF,
+    defined_names,
+    reaching_definitions,
+)
+
+
+def cfg_of(src):
+    tree = ast.parse(textwrap.dedent(src))
+    return build_cfg(tree.body), tree
+
+
+def node_at(cfg, tree, lineno):
+    """CFG node id for the statement starting at ``lineno``."""
+    for stmt in ast.walk(tree):
+        if isinstance(stmt, ast.stmt) and stmt.lineno == lineno:
+            nid = cfg.node_of_stmt.get(id(stmt))
+            if nid is not None:
+                return nid
+    raise AssertionError(f"no CFG node for line {lineno}")
+
+
+def succ_kinds(cfg, nid):
+    return {(dst, kind) for dst, kind in cfg.nodes[nid].succs}
+
+
+# -- structure ----------------------------------------------------------------
+
+
+def test_straight_line_chains_to_exit():
+    cfg, tree = cfg_of(
+        """
+        a = 1
+        b = 2
+        """
+    )
+    n1 = node_at(cfg, tree, 2)
+    n2 = node_at(cfg, tree, 3)
+    assert (n2, NORMAL) in succ_kinds(cfg, n1)
+    assert (cfg.exit, NORMAL) in succ_kinds(cfg, n2)
+
+
+def test_early_return_skips_rest_of_body():
+    cfg, tree = cfg_of(
+        """
+        if flag:
+            return 1
+        tail = 2
+        """
+    )
+    ret = node_at(cfg, tree, 3)
+    tail = node_at(cfg, tree, 4)
+    assert (cfg.exit, NORMAL) in succ_kinds(cfg, ret)
+    # The return has no fall-through edge to the tail statement.
+    assert all(dst != tail for dst, _ in cfg.nodes[ret].succs)
+    # But the if header itself can skip to the tail.
+    assert tail in cfg.successors(node_at(cfg, tree, 2))
+
+
+def test_loop_back_edge_break_and_continue():
+    cfg, tree = cfg_of(
+        """
+        for x in xs:
+            if x:
+                break
+            if not x:
+                continue
+            body = 1
+        tail = 2
+        """
+    )
+    header = node_at(cfg, tree, 2)
+    brk = node_at(cfg, tree, 4)
+    cont = node_at(cfg, tree, 6)
+    body = node_at(cfg, tree, 7)
+    tail = node_at(cfg, tree, 8)
+    # Body tail loops back to the header; continue does the same.
+    assert (header, BACK) in succ_kinds(cfg, body)
+    assert (header, BACK) in succ_kinds(cfg, cont)
+    # break jumps out of the loop, eventually reaching the tail.
+    assert tail in cfg.reachable_without(brk, {header})
+    # break does NOT go back to the header.
+    assert all(dst != header for dst, _ in cfg.nodes[brk].succs)
+
+
+def test_call_outside_try_gets_edge_to_raise_exit():
+    cfg, tree = cfg_of(
+        """
+        risky()
+        """
+    )
+    n = node_at(cfg, tree, 2)
+    assert (cfg.raise_exit, EXCEPTION) in succ_kinds(cfg, n)
+
+
+def test_try_finally_routes_exceptions_through_finally():
+    cfg, tree = cfg_of(
+        """
+        try:
+            risky()
+        finally:
+            cleanup()
+        tail = 1
+        """
+    )
+    risky = node_at(cfg, tree, 3)
+    cleanup = node_at(cfg, tree, 5)
+    tail = node_at(cfg, tree, 6)
+    # The can-raise statement's exceptional edge targets the finally
+    # entry, not raise_exit directly.
+    exc_targets = {dst for dst, kind in cfg.nodes[risky].succs if kind == EXCEPTION}
+    assert cfg.raise_exit not in exc_targets
+    assert any(cleanup in cfg.reachable_without(t, set()) or t == cleanup
+               for t in exc_targets) or any(
+        cleanup == dst for t in exc_targets for dst in cfg.successors(t)
+    )
+    # The finally completes both to the next statement and (for an
+    # in-flight exception) toward raise_exit.
+    assert tail in cfg.reachable_without(cleanup, set())
+    assert cfg.raise_exit in cfg.reachable_without(cleanup, {tail})
+
+
+def test_except_handler_body_is_reachable_from_raising_stmt():
+    cfg, tree = cfg_of(
+        """
+        try:
+            risky()
+        except ValueError:
+            handled = 1
+        tail = 2
+        """
+    )
+    risky = node_at(cfg, tree, 3)
+    handled = node_at(cfg, tree, 5)
+    tail = node_at(cfg, tree, 6)
+    assert handled in cfg.reachable_without(risky, set())
+    assert tail in cfg.reachable_without(handled, set())
+
+
+def test_dominators_and_postdominators():
+    cfg, tree = cfg_of(
+        """
+        a = 1
+        if a:
+            b = 2
+        else:
+            c = 3
+        d = 4
+        """
+    )
+    na = node_at(cfg, tree, 2)
+    nb = node_at(cfg, tree, 4)
+    nd = node_at(cfg, tree, 7)
+    dom = cfg.dominators()
+    pdom = cfg.postdominators()
+    # The straight-line head dominates everything below it.
+    assert na in dom[nb] and na in dom[nd]
+    # One branch arm does not dominate the join.
+    assert nb not in dom[nd]
+    # The join post-dominates both arms.
+    assert nd in pdom[nb]
+
+
+# -- reaching definitions -----------------------------------------------------
+
+
+def defs_reaching(src, lineno, name, params=None):
+    cfg, tree = cfg_of(src)
+    rd = reaching_definitions(cfg, params=params)
+    nid = node_at(cfg, tree, lineno)
+    def_ids = rd[nid].get(name, set())
+    lines = set()
+    for d in def_ids:
+        if d == ENTRY_DEF:
+            lines.add("entry")
+        else:
+            lines.add(cfg.nodes[d].lineno)
+    return lines
+
+
+def test_redefinition_kills_earlier_def():
+    lines = defs_reaching(
+        """
+        x = set()
+        x = sorted(x)
+        use(x)
+        """,
+        4,
+        "x",
+    )
+    assert lines == {3}
+
+
+def test_branch_merge_keeps_both_definitions():
+    lines = defs_reaching(
+        """
+        if flag:
+            x = 1
+        else:
+            x = 2
+        use(x)
+        """,
+        6,
+        "x",
+    )
+    assert lines == {3, 5}
+
+
+def test_loop_carried_definition_reaches_header():
+    src = """
+    x = 0
+    while cond:
+        use(x)
+        x = x + 1
+    """
+    # Inside the loop body, both the initial def and the loop-carried
+    # redefinition reach the use.
+    assert defs_reaching(src, 4, "x") == {2, 5}
+
+
+def test_parameters_reach_as_entry_defs():
+    assert defs_reaching(
+        """
+        use(x)
+        """,
+        2,
+        "x",
+        params=["x"],
+    ) == {"entry"}
+
+
+def test_defined_names_covers_binding_forms():
+    stmts = ast.parse(
+        textwrap.dedent(
+            """
+            a, (b, c) = 1, (2, 3)
+            for i in xs: pass
+            with open(p) as fh: pass
+            import os.path
+            from x import y as z
+            d = (w := 5)
+            """
+        )
+    ).body
+    assert defined_names(stmts[0]) == ["a", "b", "c"]
+    assert defined_names(stmts[1]) == ["i"]
+    assert defined_names(stmts[2]) == ["fh"]
+    assert defined_names(stmts[3]) == ["os"]
+    assert defined_names(stmts[4]) == ["z"]
+    assert set(defined_names(stmts[5])) == {"d", "w"}

@@ -1,0 +1,57 @@
+"""The pickled project-graph cache (content-hash keyed)."""
+
+import textwrap
+
+from repro.analysis.graph import build_project_graph
+from repro.analysis.graph.project import sources_key
+from repro.analysis.source import SourceFile
+
+
+def sources(text="def f():\n    g()\n\ndef g():\n    pass\n"):
+    return [SourceFile("core/a.py", textwrap.dedent(text))]
+
+
+def test_sources_key_is_content_addressed():
+    a = sources_key(sources())
+    b = sources_key(sources())
+    assert a == b
+    # Any content change produces a different key.
+    c = sources_key(sources("def f():\n    pass\n"))
+    assert c != a
+    # A path change does too, even with identical text.
+    d = sources_key([SourceFile("core/b.py", sources()[0].text)])
+    assert d != a
+
+
+def test_cache_roundtrip_and_reuse(tmp_path):
+    first = build_project_graph(sources(), cache_dir=tmp_path)
+    cached = list(tmp_path.glob("project-graph-*.pkl"))
+    assert len(cached) == 1
+
+    # Second build with identical content loads the pickle; the loaded
+    # graph answers the same queries (CFGs rebuild lazily post-load).
+    second = build_project_graph(sources(), cache_dir=tmp_path)
+    assert second.stats() == first.stats()
+    assert {(e.caller, e.callee) for e in second.callgraph.edges} == {
+        (e.caller, e.callee) for e in first.callgraph.edges
+    }
+    assert second.cfg_of("repro.core.a.f") is not None
+
+
+def test_corrupt_cache_entry_is_rebuilt_not_fatal(tmp_path):
+    build_project_graph(sources(), cache_dir=tmp_path)
+    (entry,) = tmp_path.glob("project-graph-*.pkl")
+    entry.write_bytes(b"not a pickle")
+    rebuilt = build_project_graph(sources(), cache_dir=tmp_path)
+    assert rebuilt.stats()["functions"] == 2
+    # The rebuild repaired the cache file in place.
+    import pickle
+
+    with open(entry, "rb") as fh:
+        assert pickle.load(fh).stats()["functions"] == 2
+
+
+def test_content_change_writes_a_second_entry(tmp_path):
+    build_project_graph(sources(), cache_dir=tmp_path)
+    build_project_graph(sources("def h():\n    pass\n"), cache_dir=tmp_path)
+    assert len(list(tmp_path.glob("project-graph-*.pkl"))) == 2

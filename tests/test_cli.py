@@ -454,6 +454,80 @@ def test_lint_default_scope_is_the_package(capsys):
     assert "file(s) checked" in capsys.readouterr().out
 
 
+def test_lint_rules_prints_catalogue(capsys):
+    rc = main(["lint", "--rules"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for rule in ("GSD100", "GSD101", "GSD105", "GSD106", "GSD107", "GSD108", "GSD109"):
+        assert rule in out
+    assert "whole-program" in out and "syntactic" in out
+
+
+def test_lint_sarif_format(tmp_path, capsys):
+    bad = tmp_path / "swallow.py"
+    bad.write_text("try:\n    pass\nexcept Exception:\n    pass\n")
+    rc = main(["lint", "--format", "sarif", str(bad)])
+    assert rc == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    (run,) = log["runs"]
+    assert run["tool"]["driver"]["name"] == "graphsd"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"GSD105", "GSD106", "GSD107", "GSD108", "GSD109"} <= rule_ids
+    (result,) = run["results"]
+    assert result["ruleId"] == "GSD105"
+    assert result["baselineState"] == "new"
+    assert "graphsdFindingKey/v1" in result["partialFingerprints"]
+
+
+def test_lint_sarif_fingerprint_survives_line_shifts(tmp_path, capsys):
+    bad = tmp_path / "swallow.py"
+    body = "try:\n    pass\nexcept Exception:\n    pass\n"
+    bad.write_text(body)
+    main(["lint", "--format", "sarif", str(bad)])
+    first = json.loads(capsys.readouterr().out)
+    # Prepend unrelated lines: the finding moves, its identity must not.
+    bad.write_text("# header\n# header\n" + body)
+    main(["lint", "--format", "sarif", str(bad)])
+    second = json.loads(capsys.readouterr().out)
+    fp = lambda log: log["runs"][0]["results"][0]["partialFingerprints"]
+    line = lambda log: log["runs"][0]["results"][0]["locations"][0][
+        "physicalLocation"
+    ]["region"]["startLine"]
+    assert fp(first) == fp(second)
+    assert line(second) == line(first) + 2
+
+
+def test_lint_changed_default_ref_is_head(capsys):
+    rc = main(["lint", "--changed"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "no package files changed" in out or "file(s) checked" in out
+
+
+def test_lint_changed_rejects_explicit_paths(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    rc = main(["lint", "--changed", "HEAD", str(clean)])
+    assert rc == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_lint_changed_bad_ref_is_operational_error(capsys):
+    rc = main(["lint", "--changed", "not-a-real-ref"])
+    assert rc == 2
+    assert capsys.readouterr().err.startswith("error:")
+
+
+def test_lint_graph_cache_writes_keyed_entry(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    cache = tmp_path / "cache"
+    rc = main(["lint", "--graph-cache", str(cache), str(clean)])
+    assert rc == 0
+    assert len(list(cache.glob("project-graph-*.pkl"))) == 1
+
+
 # -- observability surface (docs/OBSERVABILITY.md) ---------------------------
 
 
