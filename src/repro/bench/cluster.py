@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -164,7 +165,12 @@ def check_record(record: Dict[str, object]) -> List[str]:
     return failures
 
 
-def smoke(scale: int = 11, edge_factor: float = 12.0, P: int = 4) -> int:
+def smoke(
+    scale: int = 11,
+    edge_factor: float = 12.0,
+    P: int = 4,
+    trace_out: Optional[str] = None,
+) -> int:
     """CI guard (the ``cluster-smoke`` job): crash + dropped messages.
 
     Runs PageRank and SSSP on a small R-MAT graph through a 4-worker
@@ -172,6 +178,12 @@ def smoke(scale: int = 11, edge_factor: float = 12.0, P: int = 4) -> int:
     plan injected, and requires values bit-identical to the clean
     single-worker run plus nonzero recovery counters. Exit 0 iff all
     hold.
+
+    With ``trace_out`` set, the faulted 4-worker runs are traced: the
+    merged distributed trace, its Perfetto export, and the critical-path
+    report are written into that directory (the CI artifact), and the
+    traced runs must stay bit-identical — exercising the whole
+    observability path under faults.
     """
     import pathlib
     import tempfile
@@ -183,10 +195,15 @@ def smoke(scale: int = 11, edge_factor: float = 12.0, P: int = 4) -> int:
     from repro.datasets.synthetic import with_uniform_weights
     from repro.graph import GridStore, make_intervals
     from repro.graph.degree import out_degrees
+    from repro.obs import Tracer, analyze_file, export_file
     from repro.storage import Device
 
     failures: List[str] = []
     root = pathlib.Path(tempfile.mkdtemp(prefix="cluster-smoke-"))
+    trace_dir = None
+    if trace_out is not None:
+        trace_dir = pathlib.Path(trace_out)
+        trace_dir.mkdir(parents=True, exist_ok=True)
     plan = FaultPlan(
         crash_points={"w1:post-compute": 2},
         specs=(FaultSpec(kind="msg-drop", pattern="w0->*", at_op=3, count=2),),
@@ -219,8 +236,33 @@ def smoke(scale: int = 11, edge_factor: float = 12.0, P: int = 4) -> int:
                 ClusterConfig(workers=n, fault_plan=cell_plan),
                 ctx=ctx,
             )
+            if trace_dir is not None and label == "cluster":
+                engine.attach_tracer(
+                    Tracer(), path=str(trace_dir / f"{name}.trace.jsonl")
+                )
             results[label] = engine.run(algo)
         single, cluster = results["single"], results["cluster"]
+        if trace_dir is not None:
+            trace_path = trace_dir / f"{name}.trace.jsonl"
+            # analyze_file replays the timeline algebra bitwise (barrier
+            # chain, per-worker deltas, run-record fold) and raises on
+            # any violation. The makespan and the run total are two
+            # *different* exact folds of the same charges (per-barrier
+            # max-vs-sum vs run-level component sums), so they may
+            # differ in the last ulp — compare with float slack only.
+            report = analyze_file(str(trace_path))
+            if not math.isclose(
+                report.makespan, cluster.breakdown.total, rel_tol=1e-12
+            ):
+                failures.append(
+                    f"{name}: traced makespan {report.makespan!r} far from "
+                    f"run total {cluster.breakdown.total!r}"
+                )
+            export_file(str(trace_path), str(trace_dir / f"{name}.perfetto.json"))
+            critpath_txt = trace_dir / f"{name}.critical-path.txt"
+            # charged-io-ok: host-side CI artifact, not simulated graph I/O
+            critpath_txt.write_text(report.render() + "\n")
+            print(f"{name}: merged trace + Perfetto export in {trace_dir}")
         identical = _identical(single, cluster)
         if not identical:
             failures.append(f"{name}: 4-worker faulted run differs from single-worker")
@@ -258,9 +300,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run the 4-worker crash + dropped-message guard on a small "
         "R-MAT graph and exit nonzero unless bit-identical to single-worker",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help="with --smoke: write the merged distributed trace, Perfetto "
+        "export, and critical-path report of the faulted runs into DIR",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
-        return smoke()
+        return smoke(trace_out=args.trace_out)
     record = build_record(P=args.partitions)
     failures = check_record(record)
     # charged-io-ok: host-side benchmark report, not simulated graph I/O

@@ -11,12 +11,16 @@ Subcommands
     Execute one algorithm on one dataset with one system and print the
     run summary plus the per-iteration trace.
 ``bench``
-    Regenerate one of the paper's tables/figures (or ``all``).
+    Regenerate one of the paper's tables/figures (or ``all``); ``bench
+    check`` re-runs representative cells against the committed
+    ``BENCH_*.json`` baselines and exits 1 on a perf regression.
 ``trace``
     Inspect structured trace files written by ``run --trace PATH`` or
     ``bench --trace DIR``: ``trace report`` prints the per-iteration and
     scheduler-audit summary, ``trace export`` converts to the Chrome /
-    Perfetto ``trace_event`` format (see ``docs/OBSERVABILITY.md``).
+    Perfetto ``trace_event`` format, and ``trace critical-path``
+    attributes a merged distributed trace's makespan to worker ×
+    resource per superstep (see ``docs/OBSERVABILITY.md``).
 ``lint``
     Run the project-invariant static checkers (see ``docs/ANALYSIS.md``).
     Exit 0 when clean, 1 on new findings, 2 on bad usage.
@@ -411,6 +415,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench.history import check_history
+
+    report = check_history(
+        Path(args.bench_dir), smoke=args.smoke, only=args.only or None
+    )
+    print(report.render(), end="")
+    return 1 if report.failures() else 0
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     from repro.tune import fit_profile
 
@@ -434,6 +450,13 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
     from repro.obs import render_report
 
     print(render_report(args.trace_file))
+    return 0
+
+
+def _cmd_trace_critical_path(args: argparse.Namespace) -> int:
+    from repro.obs import analyze_file
+
+    print(analyze_file(args.trace_file).render())
     return 0
 
 
@@ -646,6 +669,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a structured JSONL trace per executed cell into DIR",
     )
     p.set_defaults(func=_cmd_bench)
+    bsub = p.add_subparsers(dest="bench_command", required=False)
+    b = bsub.add_parser(
+        "check",
+        help="compare fresh runs against the committed BENCH_*.json "
+        "baselines; exit 1 on regression",
+    )
+    b.add_argument(
+        "--smoke",
+        action="store_true",
+        help="cheapest representative cell per record (CI budget)",
+    )
+    b.add_argument(
+        "--bench-dir",
+        default=".",
+        metavar="DIR",
+        help="directory holding BENCH_*.json records (default: cwd)",
+    )
+    b.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="BENCH_ID",
+        help="restrict to one bench id (repeatable)",
+    )
+    b.set_defaults(func=_cmd_bench_check)
 
     p = sub.add_parser(
         "tune",
@@ -683,6 +731,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     t.add_argument("trace_file", help="JSONL trace written by run/bench --trace")
     t.set_defaults(func=_cmd_trace_report)
+    t = tsub.add_parser(
+        "critical-path",
+        help="attribute a merged distributed trace's makespan to "
+        "worker x resource per superstep (float-exact validation)",
+    )
+    t.add_argument(
+        "trace_file", help="merged v2 trace written by a cluster run --trace"
+    )
+    t.set_defaults(func=_cmd_trace_critical_path)
 
     return parser
 

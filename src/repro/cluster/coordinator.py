@@ -52,7 +52,8 @@ from repro.cluster.interconnect import (
 from repro.cluster.membership import ColumnAssignment, Membership, partition_columns
 from repro.cluster.worker import ClusterWorker
 from repro.core.result import IterationRecord, RunResult
-from repro.obs import NULL_TRACER, TracerLike
+from repro.obs import NULL_TRACER, Tracer, TracerLike
+from repro.obs.distributed import merge_cluster_trace, write_merged_trace
 from repro.storage.disk import DEFAULT_MACHINE, MachineProfile
 from repro.storage.faults import (
     MESSAGE_FAULT_KINDS,
@@ -167,6 +168,7 @@ class ClusterEngine:
 
         # Populated per run:
         self.workers: List[ClusterWorker] = []
+        self._worker_tracers: Dict[int, Tracer] = {}
         self.membership: Optional[Membership] = None
         self.assignment: Optional[ColumnAssignment] = None
         self.net: Optional[Interconnect] = None
@@ -184,8 +186,17 @@ class ClusterEngine:
     # -- observability ------------------------------------------------------
 
     def attach_tracer(self, tracer: TracerLike, path: Optional[str] = None) -> None:
-        """Attach an observability tracer (events only; spans are per-worker
-        concerns the coordinator does not emit)."""
+        """Attach an observability tracer to the whole cluster.
+
+        The coordinator emits barrier folds, iteration records, and
+        recovery events on cluster time; at run start every worker gets
+        its own child :class:`~repro.obs.trace.Tracer` (sharing this
+        tracer's clockless event machinery and metrics registry) for
+        phase spans and message sends on its local clock. When ``path``
+        is given, the run's end writes the **merged** distributed trace
+        (schema v2, see :mod:`repro.obs.distributed`) there — never a
+        partial events-only file.
+        """
         self.tracer = tracer
         self._trace_path = path
 
@@ -225,6 +236,17 @@ class ClusterEngine:
             injector=FaultInjector(net_plan) if net_plan is not None else None,
             seed=cfg.seed,
         )
+        self._worker_tracers = {}
+        if isinstance(self.tracer, Tracer):
+            # Child tracers share the coordinator's metrics registry so
+            # the final snapshot (and IterationRecord.metrics) covers
+            # disk + network counters across every worker.
+            for w in self.workers:
+                wt = Tracer(clock=w.clock, metrics=self.tracer.metrics)
+                self._worker_tracers[w.wid] = wt
+                w.tracer = wt
+                w.disk.metrics = self.tracer.metrics
+            self.net.metrics = self.tracer.metrics
         P = self.workers[0].store.P
         require(
             cfg.workers <= P,
@@ -260,7 +282,10 @@ class ClusterEngine:
         }
 
     def _fold_barrier(
-        self, tokens: Dict[int, Tuple[TimeBreakdown, IOStats]]
+        self,
+        tokens: Dict[int, Tuple[TimeBreakdown, IOStats]],
+        superstep: int,
+        kind: str,
     ) -> Tuple[TimeBreakdown, IOStats, Dict[int, float]]:
         """Close one barrier: elapsed = max over workers; rest is overlap.
 
@@ -269,8 +294,14 @@ class ClusterEngine:
         per-worker elapsed deltas (the straggler detector's input).
         Workers that died inside the barrier window are skipped — their
         frozen contribution is accounted at run level.
+
+        A traced run also emits one ``barrier`` event carrying, per
+        worker, the exact delta with its component charges and the
+        worker-local clock reading at the barrier's opening edge — the
+        anchors the trace merger and critical-path analyzer replay.
         """
         deltas: Dict[int, float] = {}
+        per_worker: Dict[int, TimeBreakdown] = {}
         summed = TimeBreakdown()
         io = IOStats()
         for wid, (clock_before, stats_before) in tokens.items():
@@ -279,6 +310,7 @@ class ClusterEngine:
             w = self.workers[wid]
             d = w.clock.snapshot() - clock_before
             deltas[wid] = d.total
+            per_worker[wid] = d
             summed = _add_breakdowns(summed, d)
             io = io + (w.disk.stats - stats_before)
         if deltas:
@@ -287,7 +319,28 @@ class ClusterEngine:
             summed = TimeBreakdown(
                 dict(summed.components), overlap_saved=summed.overlap_saved + saved
             )
+        sim_start = self._cluster_elapsed
         self._cluster_elapsed += summed.total
+        if self.tracer.enabled:
+            self.tracer.barrier(
+                {
+                    "superstep": superstep,
+                    "kind": kind,
+                    "sim_start": sim_start,
+                    "workers": {
+                        str(wid): {
+                            "delta": d.total,
+                            "components": dict(d.components),
+                            "saved": d.overlap_saved,
+                            "local_start": tokens[wid][0].total,
+                        }
+                        for wid, d in sorted(per_worker.items())
+                    },
+                    "sim_seconds": summed.total,
+                    "sim": dict(summed.components),
+                    "overlap_saved": summed.overlap_saved,
+                }
+            )
         return summed, io, deltas
 
     # -- superstep execution -------------------------------------------------
@@ -433,7 +486,7 @@ class ClusterEngine:
             self._current_worker = w.wid
             w.start(program, self.ctx, self.assignment.columns_of(w.wid))
         self._current_worker = -1
-        init_breakdown, init_io, _ = self._fold_barrier(tokens)
+        init_breakdown, init_io, _ = self._fold_barrier(tokens, 0, "init")
 
         total_breakdown = init_breakdown
         total_io = init_io
@@ -452,7 +505,7 @@ class ClusterEngine:
             tokens = self._barrier_tokens()
             sim_start = self._cluster_elapsed
             recoveries = self._run_superstep(superstep)
-            breakdown, io, deltas = self._fold_barrier(tokens)
+            breakdown, io, deltas = self._fold_barrier(tokens, superstep, "superstep")
             total_breakdown = _add_breakdowns(total_breakdown, breakdown)
             total_io = total_io + io
             edges = sum(
@@ -481,7 +534,9 @@ class ClusterEngine:
             if recoveries == 0:
                 degr_tokens = self._barrier_tokens()
                 if self._check_straggler(deltas, superstep):
-                    degr_breakdown, degr_io, _ = self._fold_barrier(degr_tokens)
+                    degr_breakdown, degr_io, _ = self._fold_barrier(
+                        degr_tokens, superstep, "degrade"
+                    )
                     total_breakdown = _add_breakdowns(total_breakdown, degr_breakdown)
                     total_io = total_io + degr_io
             for w in self._live_workers():
@@ -530,5 +585,17 @@ class ClusterEngine:
                 }
             )
             if self._trace_path is not None:
-                self.tracer.write(self._trace_path)
+                # The merged distributed trace is the only artifact a
+                # cluster --trace run may produce; a merge failure
+                # propagates (ValueError -> CLI exit 2) instead of
+                # leaving a partial events-only file behind.
+                require(
+                    isinstance(self.tracer, Tracer),
+                    "cluster tracing requires a real Tracer (got a stub)",
+                )
+                assert isinstance(self.tracer, Tracer)
+                write_merged_trace(
+                    self._trace_path,
+                    merge_cluster_trace(self.tracer, self._worker_tracers),
+                )
         return result

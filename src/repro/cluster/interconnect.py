@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.cluster.messages import ACCEPTED, DUPLICATE, Inbox, ValueMessage
+from repro.obs.metrics import MetricsRegistry
 from repro.storage.faults import FaultInjector
 from repro.utils.rng import make_rng
 from repro.utils.timers import SimClock
@@ -121,6 +122,11 @@ class Interconnect:
             "msgs_duplicated": 0,
             "msgs_corrupted": 0,
         }
+        #: Optional observability registry (attached by a traced cluster
+        #: run): message sizes land in power-of-two histograms — one
+        #: global ``net.msg_size`` plus one per channel — and retries in
+        #: the ``net.retries`` counter.
+        self.metrics: Optional[MetricsRegistry] = None
 
     # -- counters ---------------------------------------------------------
 
@@ -137,10 +143,13 @@ class Interconnect:
 
     # -- transfers --------------------------------------------------------
 
-    def _charge(self, clock: SimClock, nbytes: int) -> None:
+    def _charge(self, clock: SimClock, nbytes: int, channel: str) -> None:
         clock.charge(NETWORK, self.profile.transfer_time(nbytes))
         self._bump("messages_sent")
         self._bump("bytes_sent", nbytes)
+        if self.metrics is not None:
+            self.metrics.observe("net.msg_size", nbytes)
+            self.metrics.observe(f"net.msg_size.{channel}", nbytes)
 
     def send(
         self, clock: SimClock, channel: str, msg: ValueMessage, inbox: Inbox
@@ -154,7 +163,7 @@ class Interconnect:
         identical copy, e.g. after a rollback re-send, and is success).
         """
         for attempt in range(MAX_NET_RETRIES + 1):
-            self._charge(clock, msg.nbytes)
+            self._charge(clock, msg.nbytes, channel)
             fault = (
                 self.injector.fault_message(channel)
                 if self.injector is not None
@@ -171,7 +180,7 @@ class Interconnect:
                 status = inbox.deliver(msg)
                 # The wire carried it twice; the second copy is absorbed
                 # by the inbox's seq dedup.
-                self._charge(clock, msg.nbytes)
+                self._charge(clock, msg.nbytes, channel)
                 inbox.deliver(msg)
             else:
                 status = inbox.deliver(msg)
@@ -192,10 +201,12 @@ class Interconnect:
             clock.charge(NETWORK, backoff)
             self._bump("net_retries")
             self._bump("net_backoff_seconds", backoff)
+            if self.metrics is not None:
+                self.metrics.inc("net.retries")
         raise NetworkError(f"unreachable retry exit on {channel}")  # pragma: no cover
 
     def transfer_bulk(self, clock: SimClock, nbytes: int) -> None:
         """Charge one bulk state transfer (checkpoint fetch during
         degradation) to the receiving worker's clock."""
         require(nbytes >= 0, "nbytes must be >= 0")
-        self._charge(clock, nbytes)
+        self._charge(clock, nbytes, "bulk")

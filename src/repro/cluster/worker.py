@@ -39,6 +39,7 @@ from repro.cluster.messages import Inbox, ValueMessage, apply_messages
 from repro.core.checkpoint import CheckpointManager
 from repro.graph.grid import GridStore
 from repro.graph.vertexdata import VertexArrayStore
+from repro.obs import NULL_TRACER, TracerLike
 from repro.storage.blockfile import Device
 from repro.storage.disk import MachineProfile, SimulatedDisk
 from repro.storage.faults import FaultInjector
@@ -78,6 +79,9 @@ class ClusterWorker:
         #: superstep -> broadcast messages, retained for peer replay
         #: until the next global checkpoint commits.
         self.outbound_log: Dict[int, List[ValueMessage]] = {}
+        #: Per-worker child tracer (local clock), installed by the
+        #: coordinator on traced runs; spans/sends cost nothing here.
+        self.tracer: TracerLike = NULL_TRACER
 
         # Populated by start():
         self.program: Optional[VertexProgram] = None
@@ -104,6 +108,22 @@ class ClusterWorker:
         inj = self.disk.injector
         if inj is not None:
             inj.crash_point(point)
+
+    def _trace_send(self, msg: ValueMessage, dst: int, status: str) -> None:
+        """Emit one causal send edge (ValueMessage identity = sender, seq)."""
+        if self.tracer.enabled:
+            self.tracer.send(
+                {
+                    "worker": self.wid,
+                    "dst": dst,
+                    "seq": msg.seq,
+                    "superstep": msg.superstep,
+                    "interval": msg.interval,
+                    "nbytes": msg.nbytes,
+                    "sim_time": self.clock.elapsed(),
+                    "status": status,
+                }
+            )
 
     def _fingerprint(self) -> Tuple[int, int, int]:
         return (self.ctx.num_vertices, self.ctx.num_edges, self.store.P)
@@ -177,28 +197,31 @@ class ClusterWorker:
                 self.store.has_weights,
                 f"{program.name} requires a weighted graph store",
             )
-        self.program = program
-        self.ctx = ctx
-        self.columns = sorted(columns)
-        self.state = program.init_state(ctx)
-        self.frontier = program.initial_frontier(ctx)
-        self._activated = self.frontier.mask.copy()
-        self.edges_processed = 0
-        self._value_stores = {
-            name: VertexArrayStore(
-                self.scratch_device,
-                f"{self.store.prefix}.cluster.{program.name}.{name}",
-                ctx.num_vertices,
-                arr.dtype,
+        with self.tracer.span(
+            "init", cat="superstep", superstep=0, worker=self.wid
+        ):
+            self.program = program
+            self.ctx = ctx
+            self.columns = sorted(columns)
+            self.state = program.init_state(ctx)
+            self.frontier = program.initial_frontier(ctx)
+            self._activated = self.frontier.mask.copy()
+            self.edges_processed = 0
+            self._value_stores = {
+                name: VertexArrayStore(
+                    self.scratch_device,
+                    f"{self.store.prefix}.cluster.{program.name}.{name}",
+                    ctx.num_vertices,
+                    arr.dtype,
+                )
+                for name, arr in self.state.items()
+            }
+            for name, arr in self.state.items():
+                self._value_stores[name].store_all(arr)
+            self._manager = CheckpointManager(
+                self.scratch_device, f"{self.store.prefix}.cluster.{program.name}"
             )
-            for name, arr in self.state.items()
-        }
-        for name, arr in self.state.items():
-            self._value_stores[name].store_all(arr)
-        self._manager = CheckpointManager(
-            self.scratch_device, f"{self.store.prefix}.cluster.{program.name}"
-        )
-        self.checkpoint(0)
+            self.checkpoint(0)
 
     # -- the four superstep phases ------------------------------------------
 
@@ -206,40 +229,43 @@ class ClusterWorker:
         """Phase A: gather/apply every owned column from the t-1 snapshot."""
         if self._computed >= superstep:
             return
-        self._poll_crash("pre-compute")
-        self._load_owned_state()
-        self.prev = self.program.copy_state(self.state)
-        gate = self.frontier.mask
-        n = self.ctx.num_vertices
-        acc = self.program.acc_array(n)
-        touched = np.zeros(n, dtype=bool)
-        edges = 0
-        neutral = self.program.combine.identity
-        for j in self.columns:
-            for block in self.store.load_column(j):
-                if block.count == 0:
-                    continue
-                contrib = self.program.gather(self.prev, block.src, block.wgt)
-                edge_mask = gate[block.src]
-                contrib = np.where(edge_mask, contrib, neutral)
-                self.clock.charge(
-                    COMPUTE, self.machine.edge_compute_time(block.count)
+        with self.tracer.span(
+            "compute", cat="superstep", superstep=superstep, worker=self.wid
+        ):
+            self._poll_crash("pre-compute")
+            self._load_owned_state()
+            self.prev = self.program.copy_state(self.state)
+            gate = self.frontier.mask
+            n = self.ctx.num_vertices
+            acc = self.program.acc_array(n)
+            touched = np.zeros(n, dtype=bool)
+            edges = 0
+            neutral = self.program.combine.identity
+            for j in self.columns:
+                for block in self.store.load_column(j):
+                    if block.count == 0:
+                        continue
+                    contrib = self.program.gather(self.prev, block.src, block.wgt)
+                    edge_mask = gate[block.src]
+                    contrib = np.where(edge_mask, contrib, neutral)
+                    self.clock.charge(
+                        COMPUTE, self.machine.edge_compute_time(block.count)
+                    )
+                    scatter_combine(self.program.combine, acc, block.dst, contrib)
+                    touched[block.dst[edge_mask]] = True
+                    edges += block.count
+            self._activated = np.zeros(n, dtype=bool)
+            for j in self.columns:
+                lo, hi = self._bounds(j)
+                act = self.program.apply(
+                    self.state, lo, hi, acc[lo:hi], touched[lo:hi]
                 )
-                scatter_combine(self.program.combine, acc, block.dst, contrib)
-                touched[block.dst[edge_mask]] = True
-                edges += block.count
-        self._activated = np.zeros(n, dtype=bool)
-        for j in self.columns:
-            lo, hi = self._bounds(j)
-            act = self.program.apply(
-                self.state, lo, hi, acc[lo:hi], touched[lo:hi]
-            )
-            self.clock.charge(COMPUTE, self.machine.vertex_compute_time(hi - lo))
-            self._activated[lo:hi] = act
-        self._store_owned_state()
-        self.edges_processed += edges
-        self._computed = superstep
-        self._poll_crash("post-compute")
+                self.clock.charge(COMPUTE, self.machine.vertex_compute_time(hi - lo))
+                self._activated[lo:hi] = act
+            self._store_owned_state()
+            self.edges_processed += edges
+            self._computed = superstep
+            self._poll_crash("post-compute")
 
     def broadcast(
         self, superstep: int, peers: List["ClusterWorker"], net: Interconnect
@@ -247,57 +273,67 @@ class ClusterWorker:
         """Phase B: send owned slices + activation bits to every live peer."""
         if self._broadcast >= superstep:
             return
-        msgs = self._build_messages(superstep)
-        self.outbound_log[superstep] = msgs
-        for peer in peers:
-            if peer.wid == self.wid:
-                continue
-            channel = channel_name(self.wid, peer.wid)
-            for msg in msgs:
-                net.send(self.clock, channel, msg, peer.inbox)
-        self._broadcast = superstep
-        self._poll_crash("post-broadcast")
+        with self.tracer.span(
+            "broadcast", cat="superstep", superstep=superstep, worker=self.wid
+        ):
+            msgs = self._build_messages(superstep)
+            self.outbound_log[superstep] = msgs
+            for peer in peers:
+                if peer.wid == self.wid:
+                    continue
+                channel = channel_name(self.wid, peer.wid)
+                for msg in msgs:
+                    status = net.send(self.clock, channel, msg, peer.inbox)
+                    self._trace_send(msg, peer.wid, status)
+            self._broadcast = superstep
+            self._poll_crash("post-broadcast")
 
     def absorb(self, superstep: int) -> None:
         """Phase C: merge peers' slices and build the next frontier."""
         if self._absorbed >= superstep:
             return
-        msgs = self.inbox.messages_for(superstep)
-        covered = {m.interval for m in msgs}
-        expected = set(range(self.store.P)) - set(self.columns)
-        require(
-            covered >= expected,
-            f"w{self.wid}: superstep {superstep} inbox covers intervals "
-            f"{sorted(covered)}, missing {sorted(expected - covered)}",
-        )
-        apply_messages(msgs, self.state, self._activated)
-        self.frontier = VertexSubset(self.ctx.num_vertices, self._activated)
-        self._absorbed = superstep
-        self._poll_crash("post-absorb")
+        with self.tracer.span(
+            "absorb", cat="superstep", superstep=superstep, worker=self.wid
+        ):
+            msgs = self.inbox.messages_for(superstep)
+            covered = {m.interval for m in msgs}
+            expected = set(range(self.store.P)) - set(self.columns)
+            require(
+                covered >= expected,
+                f"w{self.wid}: superstep {superstep} inbox covers intervals "
+                f"{sorted(covered)}, missing {sorted(expected - covered)}",
+            )
+            apply_messages(msgs, self.state, self._activated)
+            self.frontier = VertexSubset(self.ctx.num_vertices, self._activated)
+            self._absorbed = superstep
+            self._poll_crash("post-absorb")
 
     def checkpoint(self, superstep: int) -> None:
         """Phase D: persist the consistent cut for ``superstep``."""
         if self._checkpointed >= superstep:
             return
-        self._poll_crash("pre-checkpoint")
-        watermarks = np.full(self.num_workers, -1, dtype=WATERMARK_DTYPE)
-        for sender in range(self.num_workers):
-            watermarks[sender] = self.inbox.watermark(sender)
-        self._manager.write(
-            self.program.name,
-            superstep,
-            self.frontier,
-            state_arrays={
-                name: self._owned_concat(arr) for name, arr in self.state.items()
-            },
-            extra_arrays={
-                "watermarks": watermarks,
-                "columns": np.asarray(self.columns, dtype=COLUMNS_DTYPE),
-            },
-            fingerprint=self._fingerprint(),
-        )
-        self._checkpointed = superstep
-        self._poll_crash("post-checkpoint")
+        with self.tracer.span(
+            "checkpoint", cat="superstep", superstep=superstep, worker=self.wid
+        ):
+            self._poll_crash("pre-checkpoint")
+            watermarks = np.full(self.num_workers, -1, dtype=WATERMARK_DTYPE)
+            for sender in range(self.num_workers):
+                watermarks[sender] = self.inbox.watermark(sender)
+            self._manager.write(
+                self.program.name,
+                superstep,
+                self.frontier,
+                state_arrays={
+                    name: self._owned_concat(arr) for name, arr in self.state.items()
+                },
+                extra_arrays={
+                    "watermarks": watermarks,
+                    "columns": np.asarray(self.columns, dtype=COLUMNS_DTYPE),
+                },
+                fingerprint=self._fingerprint(),
+            )
+            self._checkpointed = superstep
+            self._poll_crash("post-checkpoint")
 
     def release_logs(self, superstep: int) -> None:
         """Drop outbound logs and inbox copies of supersteps ``<= superstep``
@@ -364,7 +400,8 @@ class ClusterWorker:
         channel = channel_name(self.wid, peer.wid)
         for superstep in sorted(self.outbound_log):
             for msg in self.outbound_log[superstep]:
-                net.send(self.clock, channel, msg, peer.inbox)
+                status = net.send(self.clock, channel, msg, peer.inbox)
+                self._trace_send(msg, peer.wid, status)
 
     def apply_replayed(self, superstep: int) -> None:
         """Reconstruct non-owned slices at the checkpointed ``superstep``

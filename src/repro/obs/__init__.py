@@ -28,6 +28,18 @@ simulated clock). See ``docs/OBSERVABILITY.md``.
 """
 
 from repro.obs.audit import DecisionRecord, SchedulerAudit
+from repro.obs.critpath import (
+    CriticalPathError,
+    CriticalPathReport,
+    analyze_events,
+    analyze_file,
+)
+from repro.obs.distributed import (
+    TraceMergeError,
+    merge_cluster_trace,
+    merge_trace_events,
+    write_merged_trace,
+)
 from repro.obs.export import export_file, to_chrome_trace
 from repro.obs.metrics import (
     MetricsRegistry,
@@ -38,6 +50,7 @@ from repro.obs.report import render_report
 from repro.obs.schema import (
     TRACE_SCHEMA,
     TRACE_VERSION,
+    TRACE_VERSION_DISTRIBUTED,
     TraceSchemaError,
     validate_trace_file,
     validate_trace_lines,
@@ -54,6 +67,14 @@ MetricsLike = Union[MetricsRegistry, NullMetrics]
 __all__ = [
     "TracerLike",
     "MetricsLike",
+    "CriticalPathError",
+    "CriticalPathReport",
+    "analyze_events",
+    "analyze_file",
+    "TraceMergeError",
+    "merge_cluster_trace",
+    "merge_trace_events",
+    "write_merged_trace",
     "DecisionRecord",
     "SchedulerAudit",
     "export_file",
@@ -64,6 +85,7 @@ __all__ = [
     "render_report",
     "TRACE_SCHEMA",
     "TRACE_VERSION",
+    "TRACE_VERSION_DISTRIBUTED",
     "TraceSchemaError",
     "validate_trace_file",
     "validate_trace_lines",

@@ -13,6 +13,15 @@ timelines so both can be inspected in one UI:
 
 Timestamps are microseconds (the format's unit); sub-microsecond sim
 durations survive because the format takes floats.
+
+**Merged distributed traces** (schema version 2) get a different
+layout: one process per worker (pid ``10 + wid``) plus the coordinator
+(pid ``1``), everything on rebased cluster time, message ``send`` events
+rendered as flow arrows (``ph: s``/``f``, keyed by the ValueMessage
+``(sender, seq, dst)`` identity) from the sender's broadcast span to the
+receiver's absorb span. The wall timeline is omitted there: each
+tracer's wall origin is its own creation instant, so host times are not
+comparable across processes.
 """
 
 from __future__ import annotations
@@ -20,11 +29,14 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List
 
-from repro.obs.schema import validate_trace_file
+from repro.obs.schema import TRACE_VERSION_DISTRIBUTED, validate_trace_file
 
 _SIM_PID = 1
 _WALL_PID = 2
 _US = 1e6
+
+#: Worker ``w`` of a merged trace renders as pid ``_WORKER_PID0 + w``.
+_WORKER_PID0 = 10
 
 
 def _meta_event(pid: int, name: str) -> Dict[str, Any]:
@@ -38,7 +50,20 @@ def _meta_event(pid: int, name: str) -> Dict[str, Any]:
 
 
 def to_chrome_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
-    """Convert validated graphsd trace events to a trace_event object."""
+    """Convert validated graphsd trace events to a trace_event object.
+
+    Dispatches on the meta line's ``version``: merged distributed
+    traces (v2) render one process per worker with message flow arrows;
+    single-engine traces (v1) keep the sim + wall dual layout.
+    """
+    rows = list(events)
+    if rows and rows[0].get("type") == "meta":
+        if rows[0].get("version") == TRACE_VERSION_DISTRIBUTED:
+            return _to_chrome_distributed(rows)
+    return _to_chrome_single(rows)
+
+
+def _to_chrome_single(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     out: List[Dict[str, Any]] = [
         _meta_event(_SIM_PID, "sim"),
         _meta_event(_WALL_PID, "wall"),
@@ -159,6 +184,149 @@ def to_chrome_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
                 }
             )
         # "metrics" and "run" carry aggregates with no timeline placement.
+
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": meta,
+    }
+
+
+def _to_chrome_distributed(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Render a merged v2 trace: one process per worker, flow arrows."""
+    out: List[Dict[str, Any]] = []
+    meta: Dict[str, Any] = {}
+    named_pids: Dict[int, str] = {}
+    thread_ids: Dict[Any, int] = {}
+
+    def pid_of(worker: Any) -> int:
+        pid = _SIM_PID if worker in (None, "coord", "all") else _WORKER_PID0 + int(worker)
+        if pid not in named_pids:
+            name = "coordinator (cluster time)" if pid == _SIM_PID else f"worker {worker}"
+            named_pids[pid] = name
+            out.append(_meta_event(pid, name))
+        return pid
+
+    def tid_of(pid: int, thread: str) -> int:
+        key = (pid, thread)
+        if key not in thread_ids:
+            tid = sum(1 for p, _ in thread_ids if p == pid) + 1
+            thread_ids[key] = tid
+            out.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": thread},
+                }
+            )
+        return thread_ids[key]
+
+    last_ts = 0.0
+    for event in events:
+        etype = event.get("type")
+        if etype == "meta":
+            meta = {k: v for k, v in event.items() if k != "type"}
+        elif etype == "span":
+            pid = pid_of(event.get("worker"))
+            args = dict(event.get("attrs") or {})
+            args["sim_disk"] = event["sim_disk"]
+            args["sim_cpu"] = event["sim_cpu"]
+            out.append(
+                {
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tid_of(pid, event["thread"]),
+                    "ts": event["sim_start"] * _US,
+                    "dur": event["sim_dur"] * _US,
+                    "name": event["name"],
+                    "cat": event["cat"],
+                    "args": args,
+                }
+            )
+        elif etype == "send":
+            # One flow arrow per delivered message: starts inside the
+            # sender's broadcast span, ends at the receiver's absorb.
+            recv = event.get("recv_sim_time")
+            if recv is None:
+                continue
+            flow_id = f"msg-w{event['worker']}-seq{event['seq']}-w{event['dst']}"
+            name = f"msg s{event['superstep']} i{event['interval']}"
+            src_pid = pid_of(event["worker"])
+            dst_pid = pid_of(event["dst"])
+            out.append(
+                {
+                    "ph": "s",
+                    "id": flow_id,
+                    "pid": src_pid,
+                    "tid": tid_of(src_pid, "MainThread"),
+                    "ts": event["sim_time"] * _US,
+                    "name": name,
+                    "cat": "message",
+                    "args": {"nbytes": event["nbytes"], "status": event["status"]},
+                }
+            )
+            out.append(
+                {
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_id,
+                    "pid": dst_pid,
+                    "tid": tid_of(dst_pid, "MainThread"),
+                    "ts": recv * _US,
+                    "name": name,
+                    "cat": "message",
+                }
+            )
+        elif etype == "iteration":
+            pid = pid_of(None)
+            ts = event["sim_start"] * _US
+            last_ts = ts
+            out.append(
+                {
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tid_of(pid, "iterations"),
+                    "ts": ts,
+                    "dur": event["sim_seconds"] * _US,
+                    "name": f"iter {event['iteration']} [{event['model']}]",
+                    "cat": "iteration",
+                    "args": {
+                        "frontier_size": event["frontier_size"],
+                        "edges_processed": event["edges_processed"],
+                        "activated": event["activated"],
+                        "io": event["io"],
+                    },
+                }
+            )
+            out.append(
+                {
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": ts,
+                    "name": "frontier",
+                    "args": {"active": event["frontier_size"]},
+                }
+            )
+        elif etype == "recovery":
+            pid = pid_of(event["worker"]) if isinstance(event["worker"], int) else pid_of(None)
+            out.append(
+                {
+                    "ph": "i",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": last_ts,
+                    "s": "p",
+                    "name": f"{event['event']} w{event['worker']} s{event['superstep']}",
+                    "cat": "recovery",
+                    "args": dict(event.get("detail") or {}),
+                }
+            )
+        # "barrier" windows are already covered by the merger's
+        # synthesized coordinator spans; "metrics"/"run" carry
+        # aggregates with no timeline placement.
 
     return {
         "traceEvents": out,

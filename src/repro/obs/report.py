@@ -27,6 +27,9 @@ def render_report(path: str) -> str:
     meta = events[0]
     iterations = [e for e in events if e["type"] == "iteration"]
     audits = [e for e in events if e["type"] == "audit"]
+    recoveries = [e for e in events if e["type"] == "recovery"]
+    priorities = [e for e in events if e["type"] == "priority"]
+    sends = [e for e in events if e["type"] == "send"]
     runs = [e for e in events if e["type"] == "run"]
     final_metrics = [
         e for e in events if e["type"] == "metrics" and e.get("scope") == "final"
@@ -42,12 +45,13 @@ def render_report(path: str) -> str:
         lines.append("")
         lines.append(
             f"{'it':>4} {'model':>8} {'frontier':>9} {'edges':>10} "
-            f"{'sim_s':>10} {'io_s':>10} {'read_MB':>9}"
+            f"{'sim_s':>10} {'io_s':>10} {'net_s':>10} {'read_MB':>9}"
         )
         for it in iterations:
             sim = it.get("sim") or {}
             io = it.get("io") or {}
             io_s = float(sim.get("io_read", 0.0)) + float(sim.get("io_write", 0.0))
+            net_s = float(sim.get("network", 0.0))
             read_mb = (
                 float(io.get("bytes_read_seq", 0))
                 + float(io.get("bytes_read_ran", 0))
@@ -55,7 +59,7 @@ def render_report(path: str) -> str:
             lines.append(
                 f"{it['iteration']:>4} {it['model']:>8} {it['frontier_size']:>9} "
                 f"{it['edges_processed']:>10} {it['sim_seconds']:>10.4f} "
-                f"{io_s:>10.4f} {read_mb:>9.2f}"
+                f"{io_s:>10.4f} {net_s:>10.4f} {read_mb:>9.2f}"
             )
 
     if audits:
@@ -106,6 +110,37 @@ def render_report(path: str) -> str:
         else:
             lines.append("model flips: none")
 
+    if recoveries:
+        lines.append("")
+        lines.append(f"recovery events ({len(recoveries)}):")
+        for r in recoveries:
+            detail = r.get("detail") or {}
+            extras = "  ".join(f"{k}={detail[k]}" for k in sorted(detail))
+            lines.append(
+                f"  s{r['superstep']:<3} w{r['worker']} {r['event']:<9} {extras}"
+            )
+
+    if priorities:
+        lines.append("")
+        sweeps = {int(p["sweep"]) for p in priorities}
+        selective = sum(int(p["selective_blocks"]) for p in priorities)
+        full = sum(int(p["full_blocks"]) for p in priorities)
+        activations = sum(int(p["new_activations"]) for p in priorities)
+        lines.append(
+            f"priority scheduling: {len(priorities)} pops over "
+            f"{len(sweeps)} sweeps, {activations} new activations, "
+            f"blocks selective/full = {selective}/{full}"
+        )
+
+    if sends:
+        lines.append("")
+        accepted = sum(1 for s in sends if s.get("status") == "accepted")
+        nbytes = sum(int(s["nbytes"]) for s in sends)
+        lines.append(
+            f"messages: {len(sends)} sends ({accepted} accepted, "
+            f"{len(sends) - accepted} duplicate), {nbytes / 1e6:.2f} MB payload"
+        )
+
     if runs:
         run = runs[-1]
         lines.append("")
@@ -113,6 +148,12 @@ def render_report(path: str) -> str:
             f"run: engine={run['engine']} iterations={run['iterations']} "
             f"converged={run['converged']} sim_seconds={run['sim_seconds']:.4f}"
         )
+        recovery_counters = run.get("recovery") or {}
+        if recovery_counters:
+            summary = "  ".join(
+                f"{k}={recovery_counters[k]}" for k in sorted(recovery_counters)
+            )
+            lines.append(f"  recovery: {summary}")
 
     if final_metrics:
         snap = final_metrics[-1]["metrics"]

@@ -40,6 +40,29 @@ whose ``type`` selects its required fields:
     ``interval``, ``score``, ``candidates``, ``pending_vertices``,
     ``new_activations``, ``selective_blocks``, ``full_blocks``.
 
+**Version 2 (distributed traces).** A merged cluster trace (built by
+:mod:`repro.obs.distributed`) declares ``version: 2`` in its meta line
+and may additionally contain:
+
+``barrier``
+    One coordinator barrier fold: ``superstep``, ``kind`` (``"init"``,
+    ``"superstep"``, or ``"degrade"``), ``sim_start`` (cluster time at
+    the barrier's opening edge), ``workers`` (per-worker map with the
+    exact ``delta``/``components``/``local_start`` published by
+    ``_fold_barrier``), ``sim_seconds``/``sim``/``overlap_saved`` (the
+    summed breakdown with the overlap fold applied).
+``send``
+    One message-passing causal edge keyed by ValueMessage identity:
+    ``worker`` (sender), ``dst``, ``seq``, ``superstep``, ``interval``,
+    ``nbytes``, ``sim_time`` (sender-local clock at send), ``status``
+    (``"accepted"``/``"duplicate"``). The merger may attach the optional
+    receiver-side ``recv_sim_time`` for Perfetto flow arrows.
+
+Version-2 ``span`` and ``iteration`` events may carry the optional
+``worker`` tag identifying their originating process. Version-1 traces
+stay exactly as strict as before: ``barrier``/``send`` events are
+rejected there.
+
 Validation here is structural (types and required keys), deliberately
 dependency-free — no jsonschema package — and strict about unknown event
 types so schema drift fails loudly in CI's trace-smoke job.
@@ -52,6 +75,9 @@ from typing import Any, Dict, Iterable, List
 
 TRACE_SCHEMA = "graphsd-trace"
 TRACE_VERSION = 1
+#: Version declared by merged distributed traces (adds barrier/send
+#: events and per-event worker tags; see repro.obs.distributed).
+TRACE_VERSION_DISTRIBUTED = 2
 
 _NUMERIC = (int, float)
 
@@ -131,6 +157,29 @@ _REQUIRED: Dict[str, Dict[str, tuple]] = {
     },
 }
 
+#: Event types valid only in version-2 (distributed) traces.
+_V2_REQUIRED: Dict[str, Dict[str, tuple]] = {
+    "barrier": {
+        "superstep": (int,),
+        "kind": (str,),
+        "sim_start": _NUMERIC,
+        "workers": (dict,),
+        "sim_seconds": _NUMERIC,
+        "sim": (dict,),
+        "overlap_saved": _NUMERIC,
+    },
+    "send": {
+        "worker": (int,),
+        "dst": (int,),
+        "seq": (int,),
+        "superstep": (int,),
+        "interval": (int,),
+        "nbytes": (int,),
+        "sim_time": _NUMERIC,
+        "status": (str,),
+    },
+}
+
 #: type -> {field: expected python types} for fields that MAY appear.
 #: Optional fields keep old traces valid (version 1 is unchanged) while
 #: still type-checking new producers — cluster runs attach ``recovery``
@@ -144,6 +193,12 @@ _OPTIONAL: Dict[str, Dict[str, tuple]] = {
     "iteration": {
         "worker": (int, str),
         "subblocks_processed": (int,),
+    },
+    "span": {
+        "worker": (int, str),
+    },
+    "send": {
+        "recv_sim_time": _NUMERIC,
     },
 }
 
@@ -164,6 +219,7 @@ def validate_trace_lines(lines: Iterable[str]) -> List[Dict[str, Any]]:
     with the expected schema name and version.
     """
     events: List[Dict[str, Any]] = []
+    version = TRACE_VERSION
     for lineno, raw in enumerate(lines, start=1):
         raw = raw.strip()
         if not raw:
@@ -178,9 +234,14 @@ def validate_trace_lines(lines: Iterable[str]) -> List[Dict[str, Any]]:
         if not events:
             if etype != "meta":
                 _fail(lineno, f"first event must be 'meta', got {etype!r}")
-        if not isinstance(etype, str) or etype not in _REQUIRED:
+            if isinstance(event.get("version"), int):
+                version = event["version"]
+        known = dict(_REQUIRED)
+        if version == TRACE_VERSION_DISTRIBUTED:
+            known.update(_V2_REQUIRED)
+        if not isinstance(etype, str) or etype not in known:
             _fail(lineno, f"unknown event type {etype!r}")
-        spec = _REQUIRED[etype]
+        spec = known[etype]
         for key, types in spec.items():
             if key not in event:
                 _fail(lineno, f"{etype} event missing field {key!r}")
@@ -216,9 +277,10 @@ def validate_trace_lines(lines: Iterable[str]) -> List[Dict[str, Any]]:
         raise TraceSchemaError(
             f"unexpected schema {meta.get('schema')!r}, want {TRACE_SCHEMA!r}"
         )
-    if meta.get("version") != TRACE_VERSION:
+    if meta.get("version") not in (TRACE_VERSION, TRACE_VERSION_DISTRIBUTED):
         raise TraceSchemaError(
-            f"unexpected version {meta.get('version')!r}, want {TRACE_VERSION}"
+            f"unexpected version {meta.get('version')!r}, want "
+            f"{TRACE_VERSION} or {TRACE_VERSION_DISTRIBUTED}"
         )
     return events
 

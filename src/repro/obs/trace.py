@@ -143,6 +143,12 @@ class NullTracer:
     def recovery(self, payload: Dict[str, Any]) -> None:
         return None
 
+    def send(self, payload: Dict[str, Any]) -> None:
+        return None
+
+    def barrier(self, payload: Dict[str, Any]) -> None:
+        return None
+
     def audit_open(self, iteration: int, estimate: Any) -> None:
         return None
 
@@ -166,7 +172,11 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, clock: Optional[SimClock] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._clock = clock
         self._lock = threading.Lock()
         self._events: List[Dict[str, Any]] = []  # guarded-by: _lock
@@ -174,7 +184,9 @@ class Tracer:
         self._stacks = threading.local()
         self._wall0 = time.perf_counter()
         self._meta: Dict[str, Any] = {}
-        self.metrics = MetricsRegistry()
+        # Per-worker tracers in a cluster share the coordinator's
+        # registry so one final snapshot covers the whole run.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.audit = SchedulerAudit(emit=self._append)
         self.priority_records: List[PriorityDecision] = []
 
@@ -272,6 +284,28 @@ class Tracer:
         ``event``, ``superstep``, ``detail``.
         """
         event = {"type": "recovery", "wall": self.now_wall()}
+        event.update(payload)
+        self._append(event)
+
+    def send(self, payload: Dict[str, Any]) -> None:
+        """Emit one message-passing causal edge (distributed traces).
+
+        ``payload`` must carry the v2 schema's required fields: ``worker``
+        (sender), ``dst``, ``seq``, ``superstep``, ``interval``,
+        ``nbytes``, ``sim_time``, ``status``.
+        """
+        event = {"type": "send"}
+        event.update(payload)
+        self._append(event)
+
+    def barrier(self, payload: Dict[str, Any]) -> None:
+        """Emit one coordinator barrier fold (distributed traces).
+
+        ``payload`` must carry the v2 schema's required fields:
+        ``superstep``, ``kind``, ``sim_start``, ``workers``,
+        ``sim_seconds``, ``sim``, ``overlap_saved``.
+        """
+        event = {"type": "barrier"}
         event.update(payload)
         self._append(event)
 

@@ -141,6 +141,13 @@ def test_trace_records_recovery_events(cluster, tmp_path):
     result = cluster(4, plan=plan, tracer=Tracer(), trace_path=str(path))
     assert np.array_equal(result.values, cluster.baseline().values)
     events = validate_trace_file(str(path))
+    # A cluster --trace run writes the *merged* distributed trace.
+    assert events[0]["version"] == 2
+    assert events[0]["merged_workers"] == [0, 1, 2, 3]
+    assert any(e["type"] == "barrier" for e in events)
+    assert any(e["type"] == "send" for e in events)
+    worker_spans = [e for e in events if e["type"] == "span" and e.get("worker") == 2]
+    assert {s["name"] for s in worker_spans} >= {"compute", "broadcast", "absorb"}
     recoveries = [e for e in events if e["type"] == "recovery"]
     assert {e["event"] for e in recoveries} >= {"rollback", "replay"}
     assert all(e["superstep"] >= 1 for e in recoveries)
